@@ -1,0 +1,20 @@
+"""Regenerates paper Figure 6: normalized execution time per program at
+4 and 32 threads (protected/baseline, monitor fed-but-disabled).
+
+Shape assertions: every program costs more at 4 threads than at 32, and
+the 32-thread geometric mean lands near the paper's 1.16x.
+"""
+
+from repro.experiments import fig6
+
+
+def test_fig6(benchmark, save_result):
+    result = benchmark.pedantic(fig6.compute, rounds=1, iterations=1)
+    assert result.thread_counts == [4, 32]
+    for name, (at4, at32) in result.overheads.items():
+        assert at4 > at32 > 1.0, (name, at4, at32)
+    geo32 = result.geomean(1)
+    assert 1.05 <= geo32 <= 1.35, geo32  # paper: 1.16x
+    geo4 = result.geomean(0)
+    assert 1.5 <= geo4 <= 2.6, geo4      # paper: 2.15x
+    save_result("fig6", fig6.render(result))

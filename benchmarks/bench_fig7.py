@@ -1,0 +1,15 @@
+"""Regenerates paper Figure 7: geomean overhead vs thread count.
+
+Shape assertions: the 1->2 thread NUMA bump exists, the curve declines
+monotonically from 2 to 32 threads, and it ends near the paper's 1.16x.
+"""
+
+from repro.experiments import fig7
+
+
+def test_fig7(benchmark, save_result):
+    result = benchmark.pedantic(fig7.compute, rounds=1, iterations=1)
+    assert result.has_numa_bump, result.geomean
+    assert result.declines_after_bump, result.geomean
+    assert result.geomean[-1] <= 1.35, result.geomean
+    save_result("fig7", fig7.render(result))

@@ -1,0 +1,10 @@
+"""Regenerates paper Table III: the category-propagation trace on the
+Figure 2 example.  Also serves as a benchmark of the analysis fixpoint."""
+
+from repro.experiments import table3
+
+
+def test_table3(benchmark, save_result):
+    result = benchmark(table3.compute)
+    assert result.matches_paper
+    save_result("table3", table3.render(result))

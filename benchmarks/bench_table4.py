@@ -1,0 +1,14 @@
+"""Regenerates paper Table IV: benchmark program characteristics."""
+
+from repro.experiments import table4
+
+
+def test_table4(benchmark, save_result):
+    rows = benchmark.pedantic(table4.compute, rounds=1, iterations=1)
+    assert len(rows) == 7
+    # relative ordering the paper shows: raytrace is the largest program,
+    # radix/FFT the smallest
+    locs = {row.ours.name: row.ours.total_loc for row in rows}
+    assert max(locs, key=locs.get) == "raytrace"
+    assert min(locs, key=locs.get) in ("radix", "fft")
+    save_result("table4", table4.render(rows))

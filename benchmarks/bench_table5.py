@@ -1,0 +1,20 @@
+"""Regenerates paper Table V: similarity category statistics.
+
+Checks the headline claims: 49-98 % of parallel-section branches are
+statically similar, with FMM and raytrace at the low end and the
+contiguous Ocean partial-dominated.
+"""
+
+from repro.analysis import Category
+from repro.experiments import table5
+
+
+def test_table5(benchmark, save_result):
+    rows = benchmark.pedantic(table5.compute, rounds=1, iterations=1)
+    stats = {row.ours.name: row.ours for row in rows}
+    fractions = {name: s.similar_fraction for name, s in stats.items()}
+    assert 0.45 <= min(fractions.values())
+    assert max(fractions.values()) >= 0.90
+    assert set(sorted(fractions, key=fractions.get)[:2]) == {"fmm", "raytrace"}
+    assert stats["ocean_contig"].percent(Category.PARTIAL) > 60
+    save_result("table5", table5.render(rows))

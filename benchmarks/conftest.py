@@ -1,0 +1,35 @@
+"""Benchmark harness support.
+
+Every bench regenerates one table/figure of the paper (the real work
+happens once via ``benchmark.pedantic(rounds=1)``), prints it, and saves
+the rendered text under ``benchmarks/results/`` so EXPERIMENTS.md can
+reference the latest regeneration.
+
+Scaling knobs (environment):
+
+``REPRO_FAULTS``    injections per campaign cell for Figures 8/9
+                    (default 60; the paper used 1000)
+``REPRO_THREADS``   thread counts for the coverage figures (default 4,32)
+``REPRO_FP_RUNS``   error-free runs per program (default 100, as in the
+                    paper)
+"""
+
+from __future__ import annotations
+
+import os
+
+import pytest
+
+RESULTS_DIR = os.path.join(os.path.dirname(__file__), "results")
+
+
+@pytest.fixture
+def save_result():
+    def save(name: str, text: str) -> None:
+        os.makedirs(RESULTS_DIR, exist_ok=True)
+        path = os.path.join(RESULTS_DIR, name + ".txt")
+        with open(path, "w") as handle:
+            handle.write(text + "\n")
+        print()
+        print(text)
+    return save

@@ -1,0 +1,5 @@
+"""Setup shim: enables `pip install -e . --no-use-pep517` on offline hosts
+that lack the `wheel` package (configuration lives in pyproject.toml)."""
+from setuptools import setup
+
+setup()

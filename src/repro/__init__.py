@@ -1,0 +1,45 @@
+"""BLOCKWATCH reproduction — cross-thread control-data similarity checking
+for SPMD parallel programs (Wei & Pattabiraman, DSN 2012).
+
+Layers (bottom-up):
+
+``repro.ir``          SSA intermediate representation (the LLVM-IR stand-in)
+``repro.frontend``    MiniC: the kernel language compiled to the IR
+``repro.analysis``    the similarity-inference fixpoint (paper Section III-A)
+``repro.instrument``  the sendBranchCondition/sendBranchAddr pass
+``repro.runtime``     simulated 32-core SPMD machine + cycle cost model
+``repro.monitor``     lock-free queues, two-level table, category checks
+``repro.faults``      PIN-analogue single-bit fault injector + campaigns
+``repro.splash2``     seven SPLASH-2-style benchmark kernels
+``repro.experiments`` one harness per paper table/figure
+
+Quickstart::
+
+    from repro import BlockWatch, FaultType
+
+    bw = BlockWatch(source)               # compile, analyze, instrument
+    result = bw.run(nthreads=8, setup=fill_inputs)
+    stats = bw.inject(FaultType.BRANCH_FLIP, injections=100,
+                      setup=fill_inputs, output_globals=("result",))
+"""
+
+from repro.analysis import AnalysisConfig, Category, analyze_module
+from repro.api import BlockWatch, protect
+from repro.faults import CampaignConfig, FaultType, Outcome, run_campaign
+from repro.frontend import compile_source
+from repro.instrument import InstrumentConfig, instrument_module
+from repro.monitor import MODE_FEED, MODE_FULL, Monitor
+from repro.runtime import CostModel, Machine, ParallelProgram, RunConfig, RunResult
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "AnalysisConfig", "Category", "analyze_module",
+    "BlockWatch", "protect",
+    "CampaignConfig", "FaultType", "Outcome", "run_campaign",
+    "compile_source",
+    "InstrumentConfig", "instrument_module",
+    "MODE_FEED", "MODE_FULL", "Monitor",
+    "CostModel", "Machine", "ParallelProgram", "RunConfig", "RunResult",
+    "__version__",
+]

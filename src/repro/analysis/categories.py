@@ -1,0 +1,106 @@
+"""Similarity categories and the Table II propagation rules.
+
+This module is a direct transcription of the paper's Tables I and II:
+
+* Table I defines the five categories —
+
+  ==========  =============================================================
+  ``NA``      "Not Assigned": the fixpoint has not (yet) classified this
+              instruction.
+  ``shared``  all operands derive from variables shared among threads
+              (globals and constants) → every thread takes the same branch
+              decision.
+  ``threadID`` one operand derives from the thread ID, the rest are
+              shared → the decision is a known function of the thread ID.
+  ``partial`` local variables restricted to a small set of shared values →
+              threads holding the same value decide alike.
+  ``none``    no statically known similarity.
+  ==========  =============================================================
+
+* Table II gives, for each (current instruction category, next operand
+  category) pair, the instruction's updated category.  The transfer
+  function is :func:`propagate`; :func:`fold_operands` applies it across
+  an operand list the way the paper's ``visitInst`` does (bailing out on
+  the first ``NA`` operand).
+
+The table flows monotonically in the partial order
+``NA ⊑ {shared, threadID, partial} ⊑ none`` (with shared ⊑ partial),
+which is what guarantees termination of the fixpoint; the property-based
+tests in ``tests/analysis/test_categories.py`` verify monotonicity
+mechanically.
+"""
+
+from __future__ import annotations
+
+import enum
+from typing import Iterable, Optional
+
+
+class Category(enum.Enum):
+    """Similarity category of an instruction or branch (paper Table I)."""
+
+    NA = "NA"
+    SHARED = "shared"
+    THREADID = "threadID"
+    PARTIAL = "partial"
+    NONE = "none"
+
+    def __str__(self) -> str:  # pragma: no cover - cosmetic
+        return self.value
+
+    @property
+    def is_checkable(self) -> bool:
+        """Whether branches of this category get a runtime check."""
+        return self in (Category.SHARED, Category.THREADID, Category.PARTIAL)
+
+
+# Paper Table II.  Rows: current instruction category; columns: the
+# category of the operand being folded in; entries: updated category.
+_N, _S, _T, _P, _X = (Category.NA, Category.SHARED, Category.THREADID,
+                      Category.PARTIAL, Category.NONE)
+
+TABLE_II = {
+    # current      NA  shared threadID partial none
+    _N: {_N: _N, _S: _S, _T: _T, _P: _P, _X: _X},
+    _S: {_N: _N, _S: _S, _T: _T, _P: _P, _X: _X},
+    _T: {_N: _N, _S: _T, _T: _T, _P: _X, _X: _X},
+    _P: {_N: _N, _S: _P, _T: _X, _P: _P, _X: _X},
+    _X: {_N: _N, _S: _X, _T: _X, _P: _X, _X: _X},
+}
+
+
+def propagate(current: Category, operand: Category) -> Category:
+    """One Table II lookup: fold ``operand`` into ``current``."""
+    return TABLE_II[current][operand]
+
+
+def fold_operands(operand_categories: Iterable[Category]) -> Optional[Category]:
+    """Fold an operand list the way the paper's ``visitInst`` does.
+
+    Starts from ``NA`` and applies :func:`propagate` per operand.  Returns
+    ``None`` if any operand is still ``NA`` — the caller should leave the
+    instruction unchanged and revisit it in a later iteration (paper
+    Figure 3, lines 31-33).
+    """
+    category = Category.NA
+    for operand in operand_categories:
+        if operand is Category.NA:
+            return None
+        category = propagate(category, operand)
+    return category
+
+
+# Rank in the lattice order used for monotonicity checking.  shared,
+# threadID and partial are mutually incomparable refinements between NA
+# and none; rank compares only along chains.
+_RANK = {Category.NA: 0, Category.SHARED: 1, Category.THREADID: 1,
+         Category.PARTIAL: 2, Category.NONE: 3}
+
+
+def rank(category: Category) -> int:
+    """Height of ``category`` in the information-loss order.
+
+    ``NA < {shared, threadID} <= partial < none``: propagation must never
+    decrease rank, which bounds the fixpoint's iteration count.
+    """
+    return _RANK[category]

@@ -1,0 +1,68 @@
+"""Control-flow-graph utilities: predecessor maps and orderings.
+
+:class:`BasicBlock.predecessors` recomputes edges by scanning the whole
+function; passes that need repeated queries build a :class:`CFG` once.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List
+
+from repro.ir import BasicBlock, Function
+
+
+class CFG:
+    """Cached predecessor/successor maps plus traversal orders."""
+
+    def __init__(self, function: Function):
+        self.function = function
+        self.predecessors: Dict[BasicBlock, List[BasicBlock]] = {
+            block: [] for block in function.blocks}
+        self.successors: Dict[BasicBlock, List[BasicBlock]] = {}
+        for block in function.blocks:
+            succs = list(block.successors())
+            self.successors[block] = succs
+            for succ in succs:
+                self.predecessors[succ].append(block)
+
+    def reverse_postorder(self) -> List[BasicBlock]:
+        """Blocks in reverse postorder from the entry (forward dataflow
+        order); unreachable blocks are appended at the end."""
+        seen = set()
+        postorder: List[BasicBlock] = []
+
+        def visit(block: BasicBlock) -> None:
+            stack = [(block, iter(self.successors[block]))]
+            seen.add(id(block))
+            while stack:
+                current, succs = stack[-1]
+                advanced = False
+                for succ in succs:
+                    if id(succ) not in seen:
+                        seen.add(id(succ))
+                        stack.append((succ, iter(self.successors[succ])))
+                        advanced = True
+                        break
+                if not advanced:
+                    postorder.append(current)
+                    stack.pop()
+
+        visit(self.function.entry)
+        order = list(reversed(postorder))
+        for block in self.function.blocks:
+            if id(block) not in seen:
+                order.append(block)
+        return order
+
+    def reachable(self) -> List[BasicBlock]:
+        seen = set()
+        result = []
+        stack = [self.function.entry]
+        while stack:
+            block = stack.pop()
+            if id(block) in seen:
+                continue
+            seen.add(id(block))
+            result.append(block)
+            stack.extend(self.successors[block])
+        return result

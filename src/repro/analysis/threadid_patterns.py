@@ -1,0 +1,93 @@
+"""Thread-ID source recognition.
+
+The paper (Section III-A, footnote 4) looks for "common code patterns
+that compute the thread ID", customizable per threading library.  We
+recognize two:
+
+1. the ``tid()`` intrinsic (:class:`repro.ir.GetTid`), the direct source;
+2. the classic pthreads idiom from the paper's Figure 1::
+
+       lock(l);
+       procid = id;       // load of a counter global
+       id = id + 1;       // increment of the same global
+       unlock(l);
+
+   A scalar int global qualifies as a *tid counter* when every access to
+   it in the parallel section happens inside a critical section and every
+   store writes ``load(g) + c`` for a constant ``c`` — then each thread
+   observes a unique value, so loads of the counter are ``threadID``
+   sources.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Set
+
+from repro.analysis.critical_sections import CriticalSections
+from repro.ir import (
+    BinOp,
+    Constant,
+    INT,
+    LoadGlobal,
+    Module,
+    StoreGlobal,
+)
+
+
+def find_tid_counters(module: Module, parallel: Set[str],
+                      sections: Dict[str, CriticalSections]) -> Set[str]:
+    """Names of scalar globals that follow the tid-counter idiom."""
+    # candidate -> still plausible?
+    candidates: Set[str] = {
+        name for name, g in module.globals.items()
+        if g.type is INT}
+    accessed: Set[str] = set()
+
+    for fname in parallel:
+        function = module.functions.get(fname)
+        if function is None:
+            continue
+        cs = sections[fname]
+        for inst in function.instructions():
+            if isinstance(inst, LoadGlobal):
+                name = inst.global_.name
+                if name not in candidates:
+                    continue
+                accessed.add(name)
+                if not cs.in_critical_section(inst):
+                    candidates.discard(name)
+            elif isinstance(inst, StoreGlobal):
+                name = inst.global_.name
+                if name not in candidates:
+                    continue
+                accessed.add(name)
+                if not cs.in_critical_section(inst):
+                    candidates.discard(name)
+                    continue
+                if not _is_counter_increment(inst):
+                    candidates.discard(name)
+    # A counter must actually be incremented somewhere in the parallel
+    # section; read-only globals are simply `shared`, not thread IDs.
+    incremented = set()
+    for fname in parallel:
+        function = module.functions.get(fname)
+        if function is None:
+            continue
+        for inst in function.instructions():
+            if isinstance(inst, StoreGlobal) and inst.global_.name in candidates:
+                incremented.add(inst.global_.name)
+    return candidates & accessed & incremented
+
+
+def _is_counter_increment(store: StoreGlobal) -> bool:
+    """True iff the store writes ``load(same_global) +/- constant``."""
+    value = store.value
+    if not isinstance(value, BinOp) or value.op not in ("add", "sub"):
+        return False
+    lhs, rhs = value.lhs, value.rhs
+    if isinstance(lhs, LoadGlobal) and lhs.global_ is store.global_ and isinstance(rhs, Constant):
+        return True
+    if (value.op == "add" and isinstance(rhs, LoadGlobal)
+            and rhs.global_ is store.global_ and isinstance(lhs, Constant)):
+        return True
+    return False

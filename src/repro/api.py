@@ -1,0 +1,131 @@
+"""High-level facade: protect an SPMD program with BLOCKWATCH in one call.
+
+This is the API a downstream user starts with::
+
+    from repro import BlockWatch
+
+    bw = BlockWatch(minic_source)          # compile + analyze + instrument
+    print(bw.report())                     # per-branch category census
+
+    result = bw.run(nthreads=8, setup=fill_inputs)
+    assert result.status == "ok" and not result.detected
+
+    overhead = bw.overhead(nthreads=32)    # paper Figure 6 measurement
+
+    stats = bw.inject(FaultType.BRANCH_FLIP, nthreads=4, injections=100,
+                      setup=fill_inputs, output_globals=("result",))
+    print(stats.coverage_protected)
+
+Everything here delegates to the layered modules (frontend → analysis →
+instrument → runtime → monitor → faults); use those directly for finer
+control.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Optional, Sequence
+
+from repro.analysis import (
+    AnalysisConfig,
+    Category,
+    CategoryStatistics,
+    category_statistics,
+    format_table,
+)
+from repro.faults import CampaignConfig, CampaignStats, FaultType, run_campaign
+from repro.instrument import InstrumentConfig
+from repro.monitor import MODE_FULL
+from repro.runtime import ParallelProgram, RunResult
+from repro.runtime.memory import SharedMemory
+
+Setup = Optional[Callable[[SharedMemory], None]]
+
+
+class BlockWatch:
+    """One MiniC program, compiled, analyzed, and instrumented."""
+
+    def __init__(self, source: str, name: str = "program",
+                 entry: str = "slave",
+                 analysis_config: Optional[AnalysisConfig] = None,
+                 instrument_config: Optional[InstrumentConfig] = None):
+        self.program = ParallelProgram(
+            source, name, entry=entry,
+            analysis_config=analysis_config,
+            instrument_config=instrument_config)
+
+    # -- introspection ----------------------------------------------------
+
+    @property
+    def analysis(self):
+        return self.program.analysis
+
+    @property
+    def checked_branches(self) -> int:
+        return self.program.checked_branch_count()
+
+    def statistics(self) -> CategoryStatistics:
+        """Table V-style category census of the parallel section."""
+        return category_statistics(self.program.name, self.program.analysis)
+
+    def report(self) -> str:
+        """Readable per-branch classification report."""
+        rows = []
+        for record in self.program.analysis.all_branches():
+            rows.append([
+                record.function.name,
+                record.branch.parent.name,
+                record.category.value,
+                record.check_kind or "-",
+                "yes" if record.promoted else "",
+                record.skip_reason,
+            ])
+        stats = self.statistics()
+        title = ("BLOCKWATCH report for %s: %d parallel-section branches, "
+                 "%.0f%% statically similar, %d checked"
+                 % (self.program.name, stats.total,
+                    100 * stats.similar_fraction, self.checked_branches))
+        return format_table(
+            ["function", "block", "category", "check", "promoted", "skipped"],
+            rows, title=title)
+
+    # -- execution ---------------------------------------------------------
+
+    def run(self, nthreads: int, setup: Setup = None, seed: int = 0,
+            monitor_mode: str = MODE_FULL, **kwargs) -> RunResult:
+        """Run the protected program."""
+        return self.program.run_protected(
+            nthreads, seed=seed, setup=setup, monitor_mode=monitor_mode,
+            **kwargs)
+
+    def run_baseline(self, nthreads: int, setup: Setup = None,
+                     seed: int = 0, **kwargs) -> RunResult:
+        """Run the unprotected program (for comparisons)."""
+        return self.program.run_baseline(nthreads, seed=seed, setup=setup,
+                                         **kwargs)
+
+    def overhead(self, nthreads: int, setup: Setup = None,
+                 seed: int = 0) -> float:
+        """Protected/baseline parallel-section time ratio (paper Fig. 6)."""
+        return self.program.overhead(nthreads, seed=seed, setup=setup)
+
+    # -- fault injection ---------------------------------------------------
+
+    def inject(self, fault_type: FaultType, nthreads: int = 4,
+               injections: int = 100, setup: Setup = None,
+               output_globals: Sequence[str] = (),
+               seed: int = 2012, quantize_bits: int = 0) -> CampaignStats:
+        """Run a fault-injection campaign; returns aggregated statistics."""
+        config = CampaignConfig(
+            nthreads=nthreads, injections=injections, seed=seed,
+            output_globals=tuple(output_globals),
+            quantize_bits=quantize_bits)
+        return run_campaign(self.program, fault_type, config,
+                            setup=setup).stats
+
+
+def protect(source: str, **kwargs) -> BlockWatch:
+    """Convenience constructor: ``protect(source).run(8, ...)``."""
+    return BlockWatch(source, **kwargs)
+
+
+__all__ = ["BlockWatch", "protect", "Category", "FaultType"]

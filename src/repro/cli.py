@@ -1,0 +1,184 @@
+"""``repro-minic`` — compile, inspect, run, and protect MiniC programs
+from the command line.
+
+Subcommands::
+
+    repro-minic dump    prog.mc               # SSA IR listing
+    repro-minic report  prog.mc               # branch classification
+    repro-minic run     prog.mc -t 4          # execute (protected)
+    repro-minic run     prog.mc -t 4 --baseline
+    repro-minic inject  prog.mc -t 4 -n 100 --fault flip
+
+Programs receive ``nprocs`` automatically; other inputs can be seeded
+with ``--set name=value`` (scalars) and ``--fill array=v0,v1,...``.
+Output arrays for SDC comparison in ``inject`` are chosen with
+``--outputs a,b``.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import Callable, List
+
+from repro.analysis import format_table
+from repro.api import BlockWatch
+from repro.faults import FaultType
+from repro.frontend import compile_source
+from repro.ir import print_module
+from repro.monitor import MODE_FULL
+from repro.runtime.memory import SharedMemory
+
+
+def _load_source(path: str) -> str:
+    if path == "-":
+        return sys.stdin.read()
+    with open(path) as handle:
+        return handle.read()
+
+
+def _parse_assignments(pairs: List[str]):
+    scalars = {}
+    for pair in pairs:
+        name, _, value = pair.partition("=")
+        if not name or not value:
+            raise SystemExit("--set expects name=value, got %r" % pair)
+        scalars[name] = float(value) if "." in value else int(value)
+    return scalars
+
+
+def _parse_fills(pairs: List[str]):
+    arrays = {}
+    for pair in pairs:
+        name, _, values = pair.partition("=")
+        if not name or not values:
+            raise SystemExit("--fill expects array=v0,v1,..., got %r" % pair)
+        arrays[name] = [float(v) if "." in v else int(v)
+                        for v in values.split(",")]
+    return arrays
+
+
+def make_setup(nthreads: int, scalars, arrays) -> Callable[[SharedMemory], None]:
+    def apply(memory: SharedMemory) -> None:
+        if "nprocs" in memory.scalars:
+            memory.set_scalar("nprocs", nthreads)
+        for name, value in scalars.items():
+            memory.set_scalar(name, value)
+        for name, values in arrays.items():
+            memory.set_array(name, values)
+    return apply
+
+
+def cmd_dump(args) -> int:
+    module = compile_source(_load_source(args.program), "program")
+    print(print_module(module))
+    return 0
+
+
+def cmd_report(args) -> int:
+    bw = BlockWatch(_load_source(args.program), entry=args.entry)
+    print(bw.report())
+    return 0
+
+
+def cmd_run(args) -> int:
+    source = _load_source(args.program)
+    bw = BlockWatch(source, entry=args.entry)
+    setup = make_setup(args.threads, _parse_assignments(args.set),
+                       _parse_fills(args.fill))
+    if args.baseline:
+        result = bw.run_baseline(args.threads, setup=setup, seed=args.seed)
+    else:
+        result = bw.run(args.threads, setup=setup, seed=args.seed,
+                        monitor_mode=MODE_FULL)
+    print("status: %s" % result.status)
+    if result.failure_message:
+        print("failure: %s" % result.failure_message)
+    for tid in sorted(result.outputs):
+        if result.outputs[tid]:
+            print("thread %d output: %s" % (tid, result.outputs[tid]))
+    if result.violations:
+        print("detections:")
+        for violation in result.violations[:10]:
+            print("  %s" % violation)
+    for name in args.show:
+        print("%s = %s" % (name, result.memory.get_array(name)
+                           if name in result.memory.arrays
+                           else result.memory.get_scalar(name)))
+    print("parallel-section cycles: %.0f" % result.parallel_time)
+    return 0 if result.status == "ok" and not result.detected else 1
+
+
+def cmd_inject(args) -> int:
+    source = _load_source(args.program)
+    bw = BlockWatch(source, entry=args.entry)
+    setup = make_setup(args.threads, _parse_assignments(args.set),
+                       _parse_fills(args.fill))
+    fault = (FaultType.BRANCH_FLIP if args.fault == "flip"
+             else FaultType.BRANCH_CONDITION)
+    outputs = tuple(n for n in args.outputs.split(",") if n)
+    stats = bw.inject(fault, nthreads=args.threads,
+                      injections=args.injections, setup=setup,
+                      output_globals=outputs, seed=args.seed,
+                      quantize_bits=args.quantize)
+    print(format_table(
+        stats.SUMMARY_HEADERS, [stats.summary_row()],
+        title="Campaign: %d x %s on %s" % (args.injections, fault.value,
+                                           args.program)))
+    return 0
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="repro-minic",
+        description="Compile, inspect, run, and protect MiniC SPMD programs.")
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    def common(p, with_run_opts=True):
+        p.add_argument("program", help="MiniC source file ('-' for stdin)")
+        p.add_argument("--entry", default="slave",
+                       help="SPMD worker function (default: slave)")
+        if with_run_opts:
+            p.add_argument("-t", "--threads", type=int, default=4)
+            p.add_argument("--seed", type=int, default=0)
+            p.add_argument("--set", action="append", default=[],
+                           metavar="NAME=VALUE",
+                           help="set a scalar global before the run")
+            p.add_argument("--fill", action="append", default=[],
+                           metavar="ARRAY=V0,V1,...",
+                           help="fill an array global before the run")
+
+    p_dump = sub.add_parser("dump", help="print the SSA IR")
+    common(p_dump, with_run_opts=False)
+    p_dump.set_defaults(func=cmd_dump)
+
+    p_report = sub.add_parser("report", help="print branch classification")
+    common(p_report, with_run_opts=False)
+    p_report.set_defaults(func=cmd_report)
+
+    p_run = sub.add_parser("run", help="execute the program")
+    common(p_run)
+    p_run.add_argument("--baseline", action="store_true",
+                       help="run the uninstrumented image")
+    p_run.add_argument("--show", action="append", default=[],
+                       metavar="GLOBAL", help="print a global after the run")
+    p_run.set_defaults(func=cmd_run)
+
+    p_inject = sub.add_parser("inject", help="fault-injection campaign")
+    common(p_inject)
+    p_inject.add_argument("-n", "--injections", type=int, default=100)
+    p_inject.add_argument("--fault", choices=("flip", "condition"),
+                          default="flip")
+    p_inject.add_argument("--outputs", default="",
+                          help="comma-separated result globals for SDC "
+                               "comparison")
+    p_inject.add_argument("--quantize", type=int, default=0,
+                          help="low-order result bits ignored in comparison")
+    p_inject.set_defaults(func=cmd_inject)
+
+    args = parser.parse_args(argv)
+    return args.func(args)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,21 @@
+"""Fault injection: models, the injecting hook, and campaign drivers."""
+
+from repro.faults.campaign import (
+    CampaignConfig,
+    CampaignResult,
+    InjectionRecord,
+    golden_run,
+    run_campaign,
+    run_false_positive_trial,
+    run_one_injection,
+)
+from repro.faults.injector import InjectingHook, plan_fault
+from repro.faults.models import FaultSpec, FaultType
+from repro.faults.outcomes import CampaignStats, Outcome
+
+__all__ = [
+    "CampaignConfig", "CampaignResult", "InjectionRecord",
+    "golden_run", "run_campaign", "run_false_positive_trial",
+    "run_one_injection", "InjectingHook", "plan_fault",
+    "FaultSpec", "FaultType", "CampaignStats", "Outcome",
+]

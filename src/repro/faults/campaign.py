@@ -1,0 +1,180 @@
+"""Fault-injection campaigns (paper Section IV, *Coverage Evaluation*).
+
+One campaign = one (program, fault type, thread count): a golden run
+establishes the reference output and the per-thread dynamic branch
+counts, then ``n`` single-fault runs are classified into
+masked / detected / crash / hang / SDC.  Coverage is reported both with
+BLOCKWATCH (detections count) and for the original program (detections
+ignored — the run's underlying fate is used), which is how the paper's
+Figures 8 and 9 pair their bars.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+from typing import Callable, Optional, Sequence, Tuple
+
+from repro.faults.injector import InjectingHook, plan_fault
+from repro.faults.models import FaultSpec, FaultType
+from repro.faults.outcomes import CampaignStats, Outcome
+from repro.monitor import MODE_FULL
+from repro.runtime.interpreter import RunResult
+from repro.runtime.memory import SharedMemory
+from repro.runtime.program import ParallelProgram, RunConfig
+
+
+@dataclass
+class CampaignConfig:
+    """Knobs of one campaign."""
+
+    nthreads: int = 4
+    #: Injections per campaign; the paper uses 1000 per fault type.
+    injections: int = 120
+    #: Base seed: drives both the schedule and the fault plan.
+    seed: int = 12345
+    #: Globals compared against the golden run for SDC classification
+    #: (per-thread output() streams are schedule-sensitive, so kernels
+    #: put their results in arrays indexed by logical id instead).
+    output_globals: Tuple[str, ...] = ()
+    #: Low-order bits ignored when comparing integer results — the
+    #: analogue of comparing a real benchmark's *printed* output, which
+    #: only carries a handful of significant digits.  0 = exact.
+    quantize_bits: int = 0
+    #: Hang budget: multiple of the golden run's instruction count.
+    hang_factor: int = 10
+    quantum: int = 32
+
+
+@dataclass
+class InjectionRecord:
+    """One injection and its classification (kept for debugging/tests)."""
+
+    spec: FaultSpec
+    outcome: Outcome
+    baseline_outcome: Outcome
+    flipped_branch: bool
+    detail: str = ""
+
+
+@dataclass
+class CampaignResult:
+    stats: CampaignStats
+    records: list = field(default_factory=list)
+    golden: Optional[RunResult] = None
+
+
+def quantize_signature(signature, bits: int):
+    """Drop ``bits`` low-order bits from every integer in a signature
+    (recursively through the nested tuples); floats are coarsened to the
+    matching relative precision."""
+    if bits <= 0:
+        return signature
+
+    def q(value):
+        if isinstance(value, bool):
+            return value
+        if isinstance(value, int):
+            return value >> bits
+        if isinstance(value, float):
+            scale = float(1 << bits)
+            try:
+                return round(value / scale)
+            except (OverflowError, ValueError):
+                return value
+        if isinstance(value, tuple):
+            return tuple(q(v) for v in value)
+        return value
+
+    return q(signature)
+
+
+def golden_run(program: ParallelProgram, config: CampaignConfig,
+               setup: Optional[Callable[[SharedMemory], None]]) -> RunResult:
+    result = program.run_protected(
+        config.nthreads, seed=config.seed, setup=setup,
+        monitor_mode=MODE_FULL, quantum=config.quantum)
+    if result.status != "ok":
+        raise RuntimeError("golden run failed: %s (%s)"
+                           % (result.status, result.failure_message))
+    if result.detected:
+        raise RuntimeError("false positive in golden run: %s"
+                           % result.violations[0])
+    return result
+
+
+def run_campaign(program: ParallelProgram,
+                 fault_type: FaultType,
+                 config: CampaignConfig,
+                 setup: Optional[Callable[[SharedMemory], None]] = None,
+                 keep_records: bool = False) -> CampaignResult:
+    """Execute one full campaign and return aggregated statistics."""
+    golden = golden_run(program, config, setup)
+    golden_signature = quantize_signature(
+        golden.output_signature(config.output_globals), config.quantize_bits)
+    max_steps = max(golden.steps * config.hang_factor, golden.steps + 100_000)
+
+    stats = CampaignStats(program=program.name, fault_type=fault_type.value,
+                          nthreads=config.nthreads)
+    result = CampaignResult(stats=stats, golden=golden)
+    rng = random.Random((config.seed << 1) ^ hash(fault_type.value) & 0xFFFF)
+
+    for _ in range(config.injections):
+        spec = plan_fault(fault_type, golden.branch_counts, rng)
+        if spec is None:
+            raise RuntimeError("program executed no branches; nothing to inject")
+        outcome, baseline_outcome, hook = run_one_injection(
+            program, spec, config, setup, golden_signature, max_steps)
+        stats.note(outcome, baseline_outcome)
+        if keep_records:
+            result.records.append(InjectionRecord(
+                spec=spec, outcome=outcome, baseline_outcome=baseline_outcome,
+                flipped_branch=hook.flipped_branch, detail=hook.detail))
+    return result
+
+
+def run_one_injection(program: ParallelProgram, spec: FaultSpec,
+                      config: CampaignConfig,
+                      setup: Optional[Callable[[SharedMemory], None]],
+                      golden_signature, max_steps: int
+                      ) -> Tuple[Outcome, Outcome, InjectingHook]:
+    """One fault run, classified.  Returns (protected outcome, outcome the
+    unprotected program would have had, the hook)."""
+    hook = InjectingHook(spec)
+    run = program.run(
+        RunConfig(nthreads=config.nthreads, seed=config.seed,
+                  monitor_mode=MODE_FULL, max_steps=max_steps,
+                  quantum=config.quantum),
+        setup=setup, fault_hook=hook)
+    if not hook.activated:
+        return Outcome.NOT_ACTIVATED, Outcome.NOT_ACTIVATED, hook
+    if run.status == "crash":
+        underlying = Outcome.CRASH
+    elif run.status in ("hang", "deadlock"):
+        underlying = Outcome.HANG
+    else:
+        signature = quantize_signature(
+            run.output_signature(config.output_globals), config.quantize_bits)
+        underlying = (Outcome.MASKED if signature == golden_signature
+                      else Outcome.SDC)
+    protected = Outcome.DETECTED if run.detected else underlying
+    return protected, underlying, hook
+
+
+def run_false_positive_trial(program: ParallelProgram, nthreads: int,
+                             runs: int, base_seed: int,
+                             setup: Optional[Callable[[SharedMemory], None]] = None,
+                             output_globals: Sequence[str] = ()) -> int:
+    """The paper's false-positive experiment: ``runs`` error-free runs
+    (different schedules via different seeds); returns the number of runs
+    in which the monitor reported anything — must be zero."""
+    false_positives = 0
+    for index in range(runs):
+        result = program.run_protected(nthreads, seed=base_seed + index,
+                                       setup=setup)
+        if result.status != "ok":
+            raise RuntimeError("error-free run #%d failed: %s"
+                               % (index, result.failure_message))
+        if result.detected:
+            false_positives += 1
+    return false_positives

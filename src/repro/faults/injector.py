@@ -1,0 +1,105 @@
+"""The injecting :class:`~repro.runtime.FaultHook` — our PIN analogue.
+
+The hook rides along a normal protected run, counts every dynamic branch
+of every thread (PIN's instrumentation step), and at the planned
+(thread, k-th branch) applies the fault exactly once:
+
+* ``BRANCH_FLIP`` — invert the decision;
+* ``BRANCH_CONDITION`` — pick a random register operand of the compare
+  feeding the branch, flip a random bit of its value, write the corrupted
+  value back to the register (persistence), and re-evaluate the compare.
+
+Everything before the injection point is bit-identical to the golden run
+(same seed, same scheduler), so the fault is activated iff the target
+thread executes at least ``k`` branches.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Optional
+
+from repro.faults.models import FaultSpec, FaultType
+from repro.ir import Cmp, Constant, GlobalVariable
+from repro.runtime.interpreter import FaultHook, Frame, Machine, ThreadContext
+from repro.runtime.values import flip_value_bit
+
+
+class InjectingHook(FaultHook):
+    """Applies one :class:`FaultSpec` during a run."""
+
+    def __init__(self, spec: FaultSpec):
+        self.spec = spec
+        #: The fault site was reached and the fault applied.
+        self.activated = False
+        #: The injected fault actually changed the branch decision.
+        self.flipped_branch = False
+        #: Human-readable description of what was corrupted.
+        self.detail = ""
+
+    def before_branch(self, machine: Machine, thread: ThreadContext,
+                      branch, frame: Frame, taken: bool) -> bool:
+        if self.activated or thread.tid != self.spec.thread_id:
+            return taken
+        # thread.branch_count was incremented before the hook runs, so it
+        # is the 1-based index of the current dynamic branch.
+        if thread.branch_count != self.spec.branch_index:
+            return taken
+        self.activated = True
+        if self.spec.fault_type is FaultType.BRANCH_FLIP:
+            self.flipped_branch = True
+            self.detail = "flipped decision of %r" % branch
+            return not taken
+        return self._corrupt_condition(machine, thread, branch, frame, taken)
+
+    def _corrupt_condition(self, machine: Machine, thread: ThreadContext,
+                           branch, frame: Frame, taken: bool) -> bool:
+        rng = random.Random(self.spec.rng_seed)
+        cond = branch.cond
+        if isinstance(cond, Cmp):
+            candidates = [op for op in cond.operands
+                          if not isinstance(op, (Constant, GlobalVariable))]
+            if candidates:
+                victim = rng.choice(candidates)
+                old = machine._value(frame, victim)
+                bit = self._pick_bit(rng, old)
+                new = flip_value_bit(old, bit)
+                # Persist: every later use of this register sees the
+                # corrupted value (this is what makes condition faults
+                # lead to SDCs beyond the branch itself).
+                frame.regs[id(victim)] = new
+                lhs = machine._value(frame, cond.lhs)
+                rhs = machine._value(frame, cond.rhs)
+                new_taken = machine.evaluate_cmp(cond.op, lhs, rhs)
+                self.flipped_branch = new_taken != taken
+                self.detail = ("flipped bit %d of %s: %r -> %r"
+                               % (bit, victim.short(), old, new))
+                return new_taken
+        # The condition is a lone boolean register (or the compare reads
+        # only immediates): the condition *is* the data; flip its bit 0.
+        self.flipped_branch = True
+        self.detail = "flipped boolean condition register"
+        if not isinstance(cond, Constant):
+            frame.regs[id(cond)] = not taken
+        return not taken
+
+    def _pick_bit(self, rng: random.Random, value) -> int:
+        if self.spec.bit is not None:
+            return self.spec.bit
+        if isinstance(value, bool):
+            return 0
+        return rng.randrange(64)
+
+
+def plan_fault(fault_type: FaultType, branch_counts: dict,
+               rng: random.Random, rng_seed: Optional[int] = None) -> Optional[FaultSpec]:
+    """Draw one (thread, dynamic branch) site per the paper's procedure:
+    pick a random thread j, then a random k in [1, n_j]."""
+    eligible = [tid for tid, count in branch_counts.items() if count > 0]
+    if not eligible:
+        return None
+    thread_id = rng.choice(eligible)
+    branch_index = rng.randint(1, branch_counts[thread_id])
+    return FaultSpec(
+        fault_type=fault_type, thread_id=thread_id, branch_index=branch_index,
+        rng_seed=rng_seed if rng_seed is not None else rng.randrange(2 ** 31))

@@ -1,0 +1,51 @@
+"""Fault models (paper Section IV, *Coverage Evaluation*).
+
+Two single-bit transient fault types, injected at a uniformly random
+dynamic branch of a uniformly random thread, one fault per run:
+
+``branch-flip``
+    a flag-register upset: the branch is guaranteed to go the wrong (but
+    legal) way; no program data is corrupted.
+``branch-condition``
+    a register-file upset in the branch's condition data: one random bit
+    of one register operand of the compare feeding the branch is flipped
+    *at the branch*.  The comparison is re-evaluated with the corrupted
+    value (so the branch may or may not flip) and the corruption persists
+    in the register for all later uses — "more representative of hardware
+    faults in the control data".
+
+Note the instrumentation's ``sendBranchCondition`` executes *before* the
+branch instruction, so the monitor always sees the clean condition values
+— exactly the situation of the paper's PIN injector, which targets the
+branch instruction itself.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+from typing import Optional
+
+
+class FaultType(enum.Enum):
+    BRANCH_FLIP = "branch-flip"
+    BRANCH_CONDITION = "branch-condition"
+
+
+@dataclass(frozen=True)
+class FaultSpec:
+    """One planned injection: the ``k``-th dynamic branch executed by
+    thread ``thread_id`` (1-based, as in the paper's procedure)."""
+
+    fault_type: FaultType
+    thread_id: int
+    branch_index: int
+    #: Bit to flip for BRANCH_CONDITION; chosen per-value-width at
+    #: injection time when None.
+    bit: Optional[int] = None
+    #: Seed for the operand/bit choices made at injection time.
+    rng_seed: int = 0
+
+    def describe(self) -> str:
+        return "%s @ thread %d, dynamic branch %d" % (
+            self.fault_type.value, self.thread_id, self.branch_index)

@@ -1,0 +1,16 @@
+"""MiniC front-end: lexer, parser, and SSA code generator.
+
+MiniC is the kernel language of the reproduction — a small C-like language
+for writing SPMD pthreads-style programs: typed globals (scalars, arrays,
+locks, barriers), functions, structured control flow, ``tid()``, and the
+synchronization/output intrinsics.  ``compile_source`` is the one-call
+entry point from source text to a verified SSA module.
+"""
+
+from repro.frontend.ast_nodes import Program
+from repro.frontend.codegen import compile_program, compile_source
+from repro.frontend.lexer import Token, tokenize
+from repro.frontend.parser import parse
+
+__all__ = ["Program", "Token", "compile_program", "compile_source",
+           "parse", "tokenize"]

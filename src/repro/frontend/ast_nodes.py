@@ -1,0 +1,216 @@
+"""AST node definitions for MiniC.
+
+Plain dataclasses; the parser builds them, the code generator consumes
+them.  Every node carries a source line for diagnostics.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional, Union
+
+
+@dataclass
+class Node:
+    line: int = 0
+
+
+# ---------------------------------------------------------------------------
+# Expressions
+# ---------------------------------------------------------------------------
+
+
+@dataclass
+class Expr(Node):
+    pass
+
+
+@dataclass
+class IntLiteral(Expr):
+    value: int = 0
+
+
+@dataclass
+class FloatLiteral(Expr):
+    value: float = 0.0
+
+
+@dataclass
+class BoolLiteral(Expr):
+    value: bool = False
+
+
+@dataclass
+class NameExpr(Expr):
+    """A bare identifier: a local, a parameter, or a scalar global."""
+    name: str = ""
+
+
+@dataclass
+class IndexExpr(Expr):
+    """``array[index]`` read of a global array."""
+    name: str = ""
+    index: Optional[Expr] = None
+
+
+@dataclass
+class UnaryExpr(Expr):
+    op: str = ""  # '-' or '!'
+    operand: Optional[Expr] = None
+
+
+@dataclass
+class BinaryExpr(Expr):
+    op: str = ""  # + - * / % << >> & | ^ && || == != < <= > >=
+    lhs: Optional[Expr] = None
+    rhs: Optional[Expr] = None
+
+
+@dataclass
+class CallExpr(Expr):
+    """Direct call ``f(args)`` or builtin (tid/min/max/int/float)."""
+    name: str = ""
+    args: List[Expr] = field(default_factory=list)
+
+
+@dataclass
+class CallPtrExpr(Expr):
+    """Indirect call ``callptr(target, args...)``; returns int."""
+    target: Optional[Expr] = None
+    args: List[Expr] = field(default_factory=list)
+
+
+@dataclass
+class FuncRefExpr(Expr):
+    """``&name`` — the address (function-table index) of a function."""
+    name: str = ""
+
+
+# ---------------------------------------------------------------------------
+# Statements
+# ---------------------------------------------------------------------------
+
+
+@dataclass
+class Stmt(Node):
+    pass
+
+
+@dataclass
+class LocalDecl(Stmt):
+    type_name: str = "int"
+    name: str = ""
+    init: Optional[Expr] = None
+
+
+@dataclass
+class Assign(Stmt):
+    """``name = expr`` or ``name[idx] = expr``."""
+    name: str = ""
+    index: Optional[Expr] = None  # None for scalar targets
+    value: Optional[Expr] = None
+
+
+@dataclass
+class If(Stmt):
+    cond: Optional[Expr] = None
+    then_body: List[Stmt] = field(default_factory=list)
+    else_body: List[Stmt] = field(default_factory=list)
+
+
+@dataclass
+class While(Stmt):
+    cond: Optional[Expr] = None
+    body: List[Stmt] = field(default_factory=list)
+
+
+@dataclass
+class For(Stmt):
+    init: Optional[Stmt] = None     # Assign or LocalDecl
+    cond: Optional[Expr] = None
+    update: Optional[Stmt] = None   # Assign
+    body: List[Stmt] = field(default_factory=list)
+
+
+@dataclass
+class Return(Stmt):
+    value: Optional[Expr] = None
+
+
+@dataclass
+class Break(Stmt):
+    pass
+
+
+@dataclass
+class Continue(Stmt):
+    pass
+
+
+@dataclass
+class LockStmt(Stmt):
+    name: str = ""
+
+
+@dataclass
+class UnlockStmt(Stmt):
+    name: str = ""
+
+
+@dataclass
+class BarrierStmt(Stmt):
+    name: str = ""
+
+
+@dataclass
+class OutputStmt(Stmt):
+    value: Optional[Expr] = None
+
+
+@dataclass
+class ExprStmt(Stmt):
+    """A call evaluated for effect."""
+    expr: Optional[Expr] = None
+
+
+@dataclass
+class BlockStmt(Stmt):
+    """A bare ``{ ... }`` block (scoping is function-wide; purely
+    syntactic grouping)."""
+    body: List["Stmt"] = field(default_factory=list)
+
+
+# ---------------------------------------------------------------------------
+# Declarations
+# ---------------------------------------------------------------------------
+
+
+@dataclass
+class GlobalDecl(Node):
+    type_name: str = "int"       # int | float | lock | barrier
+    name: str = ""
+    array_length: Optional[int] = None
+    init: Optional[Union[int, float]] = None
+
+
+@dataclass
+class Param(Node):
+    type_name: str = "int"
+    name: str = ""
+
+
+@dataclass
+class FuncDecl(Node):
+    name: str = ""
+    params: List[Param] = field(default_factory=list)
+    return_type: Optional[str] = None   # None = void
+    body: List[Stmt] = field(default_factory=list)
+    #: Line of the closing brace; with ``line`` gives the source span
+    #: (used for the Table IV lines-of-code census).
+    end_line: int = 0
+
+
+@dataclass
+class Program(Node):
+    globals: List[GlobalDecl] = field(default_factory=list)
+    functions: List[FuncDecl] = field(default_factory=list)

@@ -1,0 +1,126 @@
+"""Tokenizer for MiniC, the kernel language of the reproduction.
+
+MiniC is a small C-like language sufficient to express the SPLASH-2-style
+SPMD kernels: typed globals (scalars, arrays, locks, barriers), functions,
+structured control flow, and the synchronization/output intrinsics the
+runtime provides.  Comments are ``// line`` and ``/* block */``.
+"""
+
+from __future__ import annotations
+
+from typing import Iterator, List, NamedTuple, Optional, Union
+
+from repro.errors import LexError
+
+KEYWORDS = frozenset([
+    "global", "func", "local", "if", "else", "while", "for", "return",
+    "break", "continue", "int", "float", "bool", "lock", "unlock", "barrier",
+    "output", "true", "false", "tid", "callptr", "min", "max", "true", "false",
+])
+
+# Multi-character operators first so maximal munch works by ordered scan.
+OPERATORS = [
+    "&&", "||", "==", "!=", "<=", ">=", "<<", ">>",
+    "+", "-", "*", "/", "%", "<", ">", "=", "!", "&", "|", "^",
+    "(", ")", "{", "}", "[", "]", ",", ";", ":",
+]
+
+
+class Token(NamedTuple):
+    kind: str  # 'int', 'float', 'name', 'keyword', 'op', 'eof'
+    value: Union[str, int, float]
+    line: int
+    column: int
+
+    def describe(self) -> str:
+        if self.kind == "eof":
+            return "end of input"
+        return repr(str(self.value))
+
+
+def tokenize(source: str) -> List[Token]:
+    """Tokenize ``source`` into a list ending with a single EOF token."""
+    return list(_scan(source))
+
+
+def _scan(source: str) -> Iterator[Token]:
+    pos = 0
+    line = 1
+    line_start = 0
+    length = len(source)
+    while pos < length:
+        ch = source[pos]
+        column = pos - line_start + 1
+        if ch == "\n":
+            line += 1
+            pos += 1
+            line_start = pos
+            continue
+        if ch in " \t\r":
+            pos += 1
+            continue
+        if source.startswith("//", pos):
+            end = source.find("\n", pos)
+            pos = length if end < 0 else end
+            continue
+        if source.startswith("/*", pos):
+            end = source.find("*/", pos + 2)
+            if end < 0:
+                raise LexError("unterminated block comment", line, column)
+            line += source.count("\n", pos, end)
+            if "\n" in source[pos:end]:
+                line_start = source.rfind("\n", pos, end) + 1
+            pos = end + 2
+            continue
+        if ch.isdigit() or (ch == "." and pos + 1 < length and source[pos + 1].isdigit()):
+            token, pos = _scan_number(source, pos, line, column)
+            yield token
+            continue
+        if ch.isalpha() or ch == "_":
+            start = pos
+            while pos < length and (source[pos].isalnum() or source[pos] == "_"):
+                pos += 1
+            word = source[start:pos]
+            kind = "keyword" if word in KEYWORDS else "name"
+            yield Token(kind, word, line, column)
+            continue
+        op = _match_operator(source, pos)
+        if op is not None:
+            yield Token("op", op, line, column)
+            pos += len(op)
+            continue
+        raise LexError("unexpected character %r" % ch, line, column)
+    yield Token("eof", "", line, length - line_start + 1)
+
+
+def _scan_number(source: str, pos: int, line: int, column: int):
+    start = pos
+    length = len(source)
+    is_float = False
+    while pos < length and source[pos].isdigit():
+        pos += 1
+    if pos < length and source[pos] == ".":
+        is_float = True
+        pos += 1
+        while pos < length and source[pos].isdigit():
+            pos += 1
+    if pos < length and source[pos] in "eE":
+        is_float = True
+        pos += 1
+        if pos < length and source[pos] in "+-":
+            pos += 1
+        if pos >= length or not source[pos].isdigit():
+            raise LexError("malformed float exponent", line, column)
+        while pos < length and source[pos].isdigit():
+            pos += 1
+    text = source[start:pos]
+    if is_float:
+        return Token("float", float(text), line, column), pos
+    return Token("int", int(text), line, column), pos
+
+
+def _match_operator(source: str, pos: int) -> Optional[str]:
+    for op in OPERATORS:
+        if source.startswith(op, pos):
+            return op
+    return None

@@ -1,0 +1,386 @@
+"""Recursive-descent parser for MiniC.
+
+Grammar (see :mod:`repro.frontend.lexer` for the token set)::
+
+    program     := topdecl*
+    topdecl     := globaldecl | funcdecl
+    globaldecl  := 'global' gtype NAME ('[' INT ']')? ('=' literal)? ';'
+    funcdecl    := 'func' NAME '(' params? ')' (':' ('int'|'float'))? block
+    block       := '{' stmt* '}'
+    stmt        := 'local' type NAME ('=' expr)? ';'
+                 | lvalue '=' expr ';'
+                 | 'if' '(' expr ')' block ('else' (block | ifstmt))?
+                 | 'while' '(' expr ')' block
+                 | 'for' '(' simple? ';' expr? ';' simple? ')' block
+                 | 'return' expr? ';' | 'break' ';' | 'continue' ';'
+                 | 'lock' '(' NAME ')' ';' | 'unlock' '(' NAME ')' ';'
+                 | 'barrier' '(' NAME ')' ';'
+                 | 'output' '(' expr ')' ';'
+                 | call ';'
+
+Expressions use conventional C precedence:
+``|| < && < |,^,& < ==,!= < <,<=,>,>= < <<,>> < +,- < *,/,% < unary``.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional
+
+from repro.errors import ParseError
+from repro.frontend import ast_nodes as ast
+from repro.frontend.lexer import Token, tokenize
+
+_GLOBAL_TYPES = ("int", "float", "lock", "barrier")
+_LOCAL_TYPES = ("int", "float")
+_BUILTIN_CALLS = ("tid", "min", "max", "int", "float")
+
+
+def parse(source: str) -> ast.Program:
+    """Parse MiniC source into a :class:`~repro.frontend.ast_nodes.Program`."""
+    return _Parser(tokenize(source)).parse_program()
+
+
+class _Parser:
+    def __init__(self, tokens: List[Token]):
+        self._tokens = tokens
+        self._pos = 0
+
+    # -- token plumbing ------------------------------------------------------
+
+    @property
+    def _cur(self) -> Token:
+        return self._tokens[self._pos]
+
+    def _advance(self) -> Token:
+        token = self._cur
+        if token.kind != "eof":
+            self._pos += 1
+        return token
+
+    def _check(self, kind: str, value=None) -> bool:
+        token = self._cur
+        if token.kind != kind:
+            return False
+        return value is None or token.value == value
+
+    def _accept(self, kind: str, value=None) -> Optional[Token]:
+        if self._check(kind, value):
+            return self._advance()
+        return None
+
+    def _expect(self, kind: str, value=None) -> Token:
+        if not self._check(kind, value):
+            wanted = value if value is not None else kind
+            raise ParseError(
+                "expected %r, found %s" % (wanted, self._cur.describe()),
+                self._cur.line, self._cur.column)
+        return self._advance()
+
+    def _error(self, message: str) -> ParseError:
+        return ParseError(message, self._cur.line, self._cur.column)
+
+    # -- top level -----------------------------------------------------------
+
+    def parse_program(self) -> ast.Program:
+        program = ast.Program(line=1)
+        while not self._check("eof"):
+            if self._check("keyword", "global"):
+                program.globals.append(self._parse_global())
+            elif self._check("keyword", "func"):
+                program.functions.append(self._parse_func())
+            else:
+                raise self._error(
+                    "expected 'global' or 'func', found %s" % self._cur.describe())
+        return program
+
+    def _parse_global(self) -> ast.GlobalDecl:
+        start = self._expect("keyword", "global")
+        type_token = self._advance()
+        if type_token.kind != "keyword" or type_token.value not in _GLOBAL_TYPES:
+            raise self._error("expected a global type (int/float/lock/barrier)")
+        name = self._expect("name").value
+        decl = ast.GlobalDecl(line=start.line, type_name=str(type_token.value),
+                              name=str(name))
+        if self._accept("op", "["):
+            length = self._expect("int")
+            decl.array_length = int(length.value)
+            self._expect("op", "]")
+        if self._accept("op", "="):
+            decl.init = self._parse_literal()
+        self._expect("op", ";")
+        return decl
+
+    def _parse_literal(self):
+        negate = self._accept("op", "-") is not None
+        token = self._advance()
+        if token.kind == "int":
+            return -int(token.value) if negate else int(token.value)
+        if token.kind == "float":
+            return -float(token.value) if negate else float(token.value)
+        raise ParseError("expected a numeric literal", token.line, token.column)
+
+    def _parse_func(self) -> ast.FuncDecl:
+        start = self._expect("keyword", "func")
+        name = self._expect("name").value
+        func = ast.FuncDecl(line=start.line, name=str(name))
+        self._expect("op", "(")
+        if not self._check("op", ")"):
+            while True:
+                ptype = self._advance()
+                if ptype.kind != "keyword" or ptype.value not in _LOCAL_TYPES:
+                    raise self._error("expected parameter type (int/float)")
+                pname = self._expect("name").value
+                func.params.append(ast.Param(line=ptype.line,
+                                             type_name=str(ptype.value),
+                                             name=str(pname)))
+                if not self._accept("op", ","):
+                    break
+        self._expect("op", ")")
+        if self._accept("op", ":"):
+            rtype = self._advance()
+            if rtype.kind != "keyword" or rtype.value not in _LOCAL_TYPES:
+                raise self._error("expected return type (int/float)")
+            func.return_type = str(rtype.value)
+        func.body = self._parse_block()
+        func.end_line = self._tokens[self._pos - 1].line
+        return func
+
+    # -- statements ----------------------------------------------------------
+
+    def _parse_block(self) -> List[ast.Stmt]:
+        self._expect("op", "{")
+        body: List[ast.Stmt] = []
+        while not self._check("op", "}"):
+            if self._check("eof"):
+                raise self._error("unterminated block")
+            body.append(self._parse_stmt())
+        self._expect("op", "}")
+        return body
+
+    def _parse_stmt(self) -> ast.Stmt:
+        token = self._cur
+        if token.kind == "keyword":
+            keyword = token.value
+            if keyword == "local":
+                stmt = self._parse_local()
+                self._expect("op", ";")
+                return stmt
+            if keyword == "if":
+                return self._parse_if()
+            if keyword == "while":
+                return self._parse_while()
+            if keyword == "for":
+                return self._parse_for()
+            if keyword == "return":
+                self._advance()
+                value = None if self._check("op", ";") else self._parse_expr()
+                self._expect("op", ";")
+                return ast.Return(line=token.line, value=value)
+            if keyword == "break":
+                self._advance()
+                self._expect("op", ";")
+                return ast.Break(line=token.line)
+            if keyword == "continue":
+                self._advance()
+                self._expect("op", ";")
+                return ast.Continue(line=token.line)
+            if keyword in ("lock", "unlock", "barrier"):
+                self._advance()
+                self._expect("op", "(")
+                name = str(self._expect("name").value)
+                self._expect("op", ")")
+                self._expect("op", ";")
+                cls = {"lock": ast.LockStmt, "unlock": ast.UnlockStmt,
+                       "barrier": ast.BarrierStmt}[str(keyword)]
+                return cls(line=token.line, name=name)
+            if keyword == "output":
+                self._advance()
+                self._expect("op", "(")
+                value = self._parse_expr()
+                self._expect("op", ")")
+                self._expect("op", ";")
+                return ast.OutputStmt(line=token.line, value=value)
+            if keyword == "callptr":
+                expr = self._parse_expr()
+                self._expect("op", ";")
+                return ast.ExprStmt(line=token.line, expr=expr)
+            raise self._error("unexpected keyword %r" % keyword)
+        if token.kind == "name":
+            return self._parse_assign_or_call()
+        if token.kind == "op" and token.value == "{":
+            return ast.BlockStmt(line=token.line, body=self._parse_block())
+        raise self._error("expected a statement, found %s" % token.describe())
+
+    def _parse_local(self) -> ast.LocalDecl:
+        start = self._expect("keyword", "local")
+        type_token = self._advance()
+        if type_token.kind != "keyword" or type_token.value not in _LOCAL_TYPES:
+            raise self._error("expected local type (int/float)")
+        name = str(self._expect("name").value)
+        init = None
+        if self._accept("op", "="):
+            init = self._parse_expr()
+        return ast.LocalDecl(line=start.line, type_name=str(type_token.value),
+                             name=name, init=init)
+
+    def _parse_assign_or_call(self) -> ast.Stmt:
+        token = self._expect("name")
+        name = str(token.value)
+        if self._check("op", "("):
+            call = self._finish_call(name, token)
+            self._expect("op", ";")
+            return ast.ExprStmt(line=token.line, expr=call)
+        index = None
+        if self._accept("op", "["):
+            index = self._parse_expr()
+            self._expect("op", "]")
+        self._expect("op", "=")
+        value = self._parse_expr()
+        self._expect("op", ";")
+        return ast.Assign(line=token.line, name=name, index=index, value=value)
+
+    def _parse_simple(self) -> Optional[ast.Stmt]:
+        """init/update clause of a ``for``: assignment or local decl."""
+        if self._check("keyword", "local"):
+            return self._parse_local()
+        if self._check("name"):
+            token = self._expect("name")
+            name = str(token.value)
+            index = None
+            if self._accept("op", "["):
+                index = self._parse_expr()
+                self._expect("op", "]")
+            self._expect("op", "=")
+            value = self._parse_expr()
+            return ast.Assign(line=token.line, name=name, index=index, value=value)
+        return None
+
+    def _parse_if(self) -> ast.If:
+        start = self._expect("keyword", "if")
+        self._expect("op", "(")
+        cond = self._parse_expr()
+        self._expect("op", ")")
+        stmt = ast.If(line=start.line, cond=cond)
+        stmt.then_body = self._parse_block()
+        if self._accept("keyword", "else"):
+            if self._check("keyword", "if"):
+                stmt.else_body = [self._parse_if()]
+            else:
+                stmt.else_body = self._parse_block()
+        return stmt
+
+    def _parse_while(self) -> ast.While:
+        start = self._expect("keyword", "while")
+        self._expect("op", "(")
+        cond = self._parse_expr()
+        self._expect("op", ")")
+        stmt = ast.While(line=start.line, cond=cond)
+        stmt.body = self._parse_block()
+        return stmt
+
+    def _parse_for(self) -> ast.For:
+        start = self._expect("keyword", "for")
+        self._expect("op", "(")
+        stmt = ast.For(line=start.line)
+        if not self._check("op", ";"):
+            stmt.init = self._parse_simple()
+        self._expect("op", ";")
+        if not self._check("op", ";"):
+            stmt.cond = self._parse_expr()
+        self._expect("op", ";")
+        if not self._check("op", ")"):
+            stmt.update = self._parse_simple()
+        self._expect("op", ")")
+        stmt.body = self._parse_block()
+        return stmt
+
+    # -- expressions ---------------------------------------------------------
+
+    _PRECEDENCE = [
+        ("||",),
+        ("&&",),
+        ("|", "^", "&"),
+        ("==", "!="),
+        ("<", "<=", ">", ">="),
+        ("<<", ">>"),
+        ("+", "-"),
+        ("*", "/", "%"),
+    ]
+
+    def _parse_expr(self) -> ast.Expr:
+        return self._parse_binary(0)
+
+    def _parse_binary(self, level: int) -> ast.Expr:
+        if level >= len(self._PRECEDENCE):
+            return self._parse_unary()
+        ops = self._PRECEDENCE[level]
+        lhs = self._parse_binary(level + 1)
+        while self._cur.kind == "op" and self._cur.value in ops:
+            op_token = self._advance()
+            rhs = self._parse_binary(level + 1)
+            lhs = ast.BinaryExpr(line=op_token.line, op=str(op_token.value),
+                                 lhs=lhs, rhs=rhs)
+        return lhs
+
+    def _parse_unary(self) -> ast.Expr:
+        token = self._cur
+        if token.kind == "op" and token.value in ("-", "!"):
+            self._advance()
+            operand = self._parse_unary()
+            return ast.UnaryExpr(line=token.line, op=str(token.value), operand=operand)
+        if token.kind == "op" and token.value == "&":
+            self._advance()
+            name = str(self._expect("name").value)
+            return ast.FuncRefExpr(line=token.line, name=name)
+        return self._parse_primary()
+
+    def _parse_primary(self) -> ast.Expr:
+        token = self._advance()
+        if token.kind == "int":
+            return ast.IntLiteral(line=token.line, value=int(token.value))
+        if token.kind == "float":
+            return ast.FloatLiteral(line=token.line, value=float(token.value))
+        if token.kind == "keyword":
+            keyword = str(token.value)
+            if keyword == "true":
+                return ast.BoolLiteral(line=token.line, value=True)
+            if keyword == "false":
+                return ast.BoolLiteral(line=token.line, value=False)
+            if keyword == "callptr":
+                self._expect("op", "(")
+                target = self._parse_expr()
+                args: List[ast.Expr] = []
+                while self._accept("op", ","):
+                    args.append(self._parse_expr())
+                self._expect("op", ")")
+                return ast.CallPtrExpr(line=token.line, target=target, args=args)
+            if keyword in _BUILTIN_CALLS:
+                return self._finish_call(keyword, token)
+            raise ParseError("unexpected keyword %r in expression" % keyword,
+                             token.line, token.column)
+        if token.kind == "name":
+            name = str(token.value)
+            if self._check("op", "("):
+                return self._finish_call(name, token)
+            if self._accept("op", "["):
+                index = self._parse_expr()
+                self._expect("op", "]")
+                return ast.IndexExpr(line=token.line, name=name, index=index)
+            return ast.NameExpr(line=token.line, name=name)
+        if token.kind == "op" and token.value == "(":
+            expr = self._parse_expr()
+            self._expect("op", ")")
+            return expr
+        raise ParseError("expected an expression, found %s" % token.describe(),
+                         token.line, token.column)
+
+    def _finish_call(self, name: str, token: Token) -> ast.CallExpr:
+        self._expect("op", "(")
+        args: List[ast.Expr] = []
+        if not self._check("op", ")"):
+            while True:
+                args.append(self._parse_expr())
+                if not self._accept("op", ","):
+                    break
+        self._expect("op", ")")
+        return ast.CallExpr(line=token.line, name=name, args=args)

@@ -1,0 +1,19 @@
+"""BLOCKWATCH instrumentation: attaches monitor calls to checked branches.
+
+Run :func:`instrument_module` on a compiled module plus its analysis
+result; the runtime (:mod:`repro.runtime`) and monitor
+(:mod:`repro.monitor`) pick up the attached metadata automatically.
+"""
+
+from repro.instrument.branch_ids import assign_callsite_ids, branches_in_order
+from repro.instrument.config import (
+    CheckedBranchInfo,
+    InstrumentConfig,
+    InstrumentationMetadata,
+)
+from repro.instrument.pass_ import instrument_module
+
+__all__ = [
+    "CheckedBranchInfo", "InstrumentConfig", "InstrumentationMetadata",
+    "assign_callsite_ids", "branches_in_order", "instrument_module",
+]

@@ -1,0 +1,158 @@
+"""IRBuilder: convenience layer for constructing IR.
+
+Used by the MiniC code generator and directly by tests that need precise
+control over the IR shape (e.g. reproducing the paper's Figure 1/Figure 2
+examples instruction-by-instruction).
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Sequence, Union
+
+from repro.ir.basicblock import BasicBlock
+from repro.ir.function import Function
+from repro.ir.instructions import (
+    BarrierWait,
+    BinOp,
+    Branch,
+    Call,
+    CallIndirect,
+    Cast,
+    Cmp,
+    GetTid,
+    Instruction,
+    Jump,
+    LoadElem,
+    LoadGlobal,
+    LockAcquire,
+    LockRelease,
+    Output,
+    Phi,
+    Ret,
+    StoreElem,
+    StoreGlobal,
+    UnaryOp,
+)
+from repro.ir.types import Type
+from repro.ir.values import Constant, FunctionRef, GlobalVariable, Value
+
+Num = Union[int, float, bool]
+
+
+class IRBuilder:
+    """Appends instructions to a current insertion block.
+
+    Numeric Python literals passed as operands are wrapped in
+    :class:`Constant` automatically, which keeps test code terse.
+    """
+
+    def __init__(self, block: Optional[BasicBlock] = None):
+        self.block = block
+
+    def position_at_end(self, block: BasicBlock) -> None:
+        self.block = block
+
+    # -- helpers -----------------------------------------------------------
+
+    @staticmethod
+    def _value(v: Union[Value, Num]) -> Value:
+        if isinstance(v, Value):
+            return v
+        return Constant(v)
+
+    def _emit(self, inst: Instruction) -> Instruction:
+        if self.block is None:
+            raise ValueError("IRBuilder has no insertion block")
+        return self.block.append(inst)
+
+    # -- arithmetic ----------------------------------------------------------
+
+    def binop(self, op: str, lhs, rhs, name: str = "") -> BinOp:
+        return self._emit(BinOp(op, self._value(lhs), self._value(rhs), name))
+
+    def add(self, lhs, rhs, name: str = "") -> BinOp:
+        return self.binop("add", lhs, rhs, name)
+
+    def sub(self, lhs, rhs, name: str = "") -> BinOp:
+        return self.binop("sub", lhs, rhs, name)
+
+    def mul(self, lhs, rhs, name: str = "") -> BinOp:
+        return self.binop("mul", lhs, rhs, name)
+
+    def div(self, lhs, rhs, name: str = "") -> BinOp:
+        return self.binop("div", lhs, rhs, name)
+
+    def mod(self, lhs, rhs, name: str = "") -> BinOp:
+        return self.binop("mod", lhs, rhs, name)
+
+    def neg(self, value, name: str = "") -> UnaryOp:
+        return self._emit(UnaryOp("neg", self._value(value), name))
+
+    def not_(self, value, name: str = "") -> UnaryOp:
+        return self._emit(UnaryOp("not", self._value(value), name))
+
+    def cmp(self, op: str, lhs, rhs, name: str = "") -> Cmp:
+        return self._emit(Cmp(op, self._value(lhs), self._value(rhs), name))
+
+    def cast(self, kind: str, value, name: str = "") -> Cast:
+        return self._emit(Cast(kind, self._value(value), name))
+
+    # -- memory ----------------------------------------------------------
+
+    def load(self, global_: GlobalVariable, name: str = "") -> LoadGlobal:
+        return self._emit(LoadGlobal(global_, name))
+
+    def store(self, global_: GlobalVariable, value) -> StoreGlobal:
+        return self._emit(StoreGlobal(global_, self._value(value)))
+
+    def loadelem(self, array: GlobalVariable, index, name: str = "") -> LoadElem:
+        return self._emit(LoadElem(array, self._value(index), name))
+
+    def storeelem(self, array: GlobalVariable, index, value) -> StoreElem:
+        return self._emit(StoreElem(array, self._value(index), self._value(value)))
+
+    # -- control flow ------------------------------------------------------
+
+    def phi(self, type_: Type, name: str = "") -> Phi:
+        if self.block is None:
+            raise ValueError("IRBuilder has no insertion block")
+        return self.block.insert_after_phis(Phi(type_, name))
+
+    def br(self, cond, then_block: BasicBlock, else_block: BasicBlock) -> Branch:
+        return self._emit(Branch(self._value(cond), then_block, else_block))
+
+    def jmp(self, target: BasicBlock) -> Jump:
+        return self._emit(Jump(target))
+
+    def ret(self, value=None) -> Ret:
+        return self._emit(Ret(self._value(value) if value is not None else None))
+
+    # -- calls -----------------------------------------------------------
+
+    def call(self, callee: Function, args: Sequence = (), name: str = "") -> Call:
+        return self._emit(Call(callee, [self._value(a) for a in args], name))
+
+    def callptr(self, target, args: Sequence, return_type: Type, name: str = "") -> CallIndirect:
+        return self._emit(
+            CallIndirect(self._value(target), [self._value(a) for a in args],
+                         return_type, name))
+
+    def funcref(self, name: str) -> FunctionRef:
+        return FunctionRef(name)
+
+    # -- intrinsics --------------------------------------------------------
+
+    def gettid(self, name: str = "") -> GetTid:
+        return self._emit(GetTid(name))
+
+    def output(self, value) -> Output:
+        return self._emit(Output(self._value(value)))
+
+    def lock(self, lock: GlobalVariable) -> LockAcquire:
+        return self._emit(LockAcquire(lock))
+
+    def unlock(self, lock: GlobalVariable) -> LockRelease:
+        return self._emit(LockRelease(lock))
+
+    def barrier(self, barrier: GlobalVariable) -> BarrierWait:
+        return self._emit(BarrierWait(barrier))

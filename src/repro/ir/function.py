@@ -1,0 +1,91 @@
+"""Functions: named CFGs with typed parameters."""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Iterator, List, Optional, Sequence, Tuple
+
+from repro.ir.basicblock import BasicBlock
+from repro.ir.instructions import Instruction
+from repro.ir.types import Type, VOID
+from repro.ir.values import Argument
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.ir.module import Module
+
+
+class Function:
+    """A function: an entry block plus the rest of its CFG.
+
+    Blocks are kept in insertion order; the first block is the entry.
+    Block names are unique within the function (enforced on insertion)
+    so printer output and test assertions are unambiguous.
+    """
+
+    def __init__(self, name: str, params: Sequence[Tuple[str, Type]] = (),
+                 return_type: Type = VOID):
+        self.name = name
+        self.return_type = return_type
+        self.params: List[Argument] = []
+        for index, (pname, ptype) in enumerate(params):
+            arg = Argument(pname, ptype, index)
+            arg.function = self
+            self.params.append(arg)
+        self.blocks: List[BasicBlock] = []
+        self.parent: Optional["Module"] = None
+        self._block_names: set = set()
+        self._next_block_id = 0
+
+    # -- structure -----------------------------------------------------------
+
+    def add_block(self, name: str = "") -> BasicBlock:
+        if not name:
+            name = "bb%d" % self._next_block_id
+        base, suffix = name, 0
+        while name in self._block_names:
+            suffix += 1
+            name = "%s.%d" % (base, suffix)
+        self._next_block_id += 1
+        self._block_names.add(name)
+        block = BasicBlock(name, parent=self)
+        self.blocks.append(block)
+        return block
+
+    def remove_block(self, block: BasicBlock) -> None:
+        self.blocks.remove(block)
+        self._block_names.discard(block.name)
+        block.parent = None
+
+    @property
+    def entry(self) -> BasicBlock:
+        if not self.blocks:
+            raise ValueError("function %s has no blocks" % self.name)
+        return self.blocks[0]
+
+    # -- queries -------------------------------------------------------------
+
+    def instructions(self) -> Iterator[Instruction]:
+        """All instructions in block order."""
+        for block in self.blocks:
+            yield from block.instructions
+
+    def block_named(self, name: str) -> BasicBlock:
+        for block in self.blocks:
+            if block.name == name:
+                return block
+        raise KeyError("no block named %r in %s" % (name, self.name))
+
+    def number_values(self) -> None:
+        """Assign dense ``vid`` numbers to unnamed instructions for printing."""
+        next_id = 0
+        for inst in self.instructions():
+            inst.vid = next_id
+            next_id += 1
+
+    @property
+    def signature(self) -> str:
+        params = ", ".join("%s %s" % (p.type, p.name) for p in self.params)
+        ret = "" if self.return_type is VOID else " -> %s" % self.return_type
+        return "func %s(%s)%s" % (self.name, params, ret)
+
+    def __repr__(self) -> str:
+        return "Function(%s, %d blocks)" % (self.name, len(self.blocks))

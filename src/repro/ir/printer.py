@@ -1,0 +1,40 @@
+"""Textual dump of IR modules, functions, and blocks.
+
+The format is LLVM-flavoured and intended for debugging, documentation,
+and golden tests; it is not re-parsed.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+from repro.ir.function import Function
+from repro.ir.module import Module
+from repro.ir.types import ArrayType
+
+
+def print_function(function: Function) -> str:
+    function.number_values()
+    lines: List[str] = ["%s {" % function.signature]
+    for block in function.blocks:
+        lines.append("%s:" % block.name)
+        for inst in block.instructions:
+            lines.append("  %r" % (inst,))
+    lines.append("}")
+    return "\n".join(lines)
+
+
+def print_module(module: Module) -> str:
+    lines: List[str] = ["; module %s" % module.name]
+    for g in module.globals.values():
+        if isinstance(g.type, ArrayType):
+            lines.append("global @%s : %s" % (g.name, g.type))
+        elif g.type.is_sync:
+            lines.append("global @%s : %s" % (g.name, g.type))
+        else:
+            init = "" if g.initializer is None else " = %r" % (g.initializer,)
+            lines.append("global @%s : %s%s" % (g.name, g.type, init))
+    for function in module.function_table:
+        lines.append("")
+        lines.append(print_function(function))
+    return "\n".join(lines)

@@ -1,0 +1,256 @@
+"""IR verifier: structural and SSA well-formedness checks.
+
+Run after the front-end and after every transforming pass.  The checks:
+
+* every reachable block ends in exactly one terminator, with no terminator
+  in the middle;
+* the entry block has no predecessors and no phis;
+* phi nodes appear only at the top of a block and their incoming blocks are
+  exactly the block's predecessors (one entry per edge);
+* every SSA use is dominated by its definition (phi uses are checked
+  against the incoming edge's predecessor);
+* ``ret`` values match the function's return type; every function with a
+  non-void return type returns a value on all ``ret`` instructions;
+* call operands reference functions and globals of the same module.
+
+The verifier computes its own dominator sets with the simple iterative
+dataflow algorithm; the analysis package has a faster CHK implementation,
+but the verifier stays dependency-free so it can validate the IR before
+any analysis is trusted.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Set
+
+from repro.errors import VerificationError
+from repro.ir.basicblock import BasicBlock
+from repro.ir.function import Function
+from repro.ir.instructions import (
+    Call,
+    Instruction,
+    Phi,
+    Ret,
+    Terminator,
+)
+from repro.ir.module import Module
+from repro.ir.types import VOID
+from repro.ir.values import Argument, Constant, FunctionRef, GlobalVariable
+
+
+def verify_module(module: Module) -> None:
+    """Verify every function of ``module``; raise VerificationError on the
+    first problem found."""
+    for function in module.function_table:
+        verify_function(function, module)
+
+
+def verify_function(function: Function, module: Module = None) -> None:
+    if not function.blocks:
+        raise VerificationError("function %s has no blocks" % function.name)
+    _check_block_structure(function)
+    _check_phi_edges(function)
+    _check_dominance(function)
+    _check_returns(function)
+    if module is not None:
+        _check_module_references(function, module)
+
+
+# ---------------------------------------------------------------------------
+# Individual checks
+# ---------------------------------------------------------------------------
+
+
+def _check_block_structure(function: Function) -> None:
+    entry = function.entry
+    if entry.predecessors():
+        raise VerificationError(
+            "%s: entry block %s has predecessors" % (function.name, entry.name))
+    if entry.phis():
+        raise VerificationError(
+            "%s: entry block %s has phi nodes" % (function.name, entry.name))
+    for block in function.blocks:
+        if not block.instructions:
+            raise VerificationError("%s: block %s is empty" % (function.name, block.name))
+        term = block.instructions[-1]
+        if not isinstance(term, Terminator):
+            raise VerificationError(
+                "%s: block %s does not end in a terminator" % (function.name, block.name))
+        for inst in block.instructions[:-1]:
+            if isinstance(inst, Terminator):
+                raise VerificationError(
+                    "%s: block %s has a terminator %r in mid-block"
+                    % (function.name, block.name, inst))
+        seen_non_phi = False
+        for inst in block.instructions:
+            if isinstance(inst, Phi):
+                if seen_non_phi:
+                    raise VerificationError(
+                        "%s: phi %r after non-phi in block %s"
+                        % (function.name, inst, block.name))
+            else:
+                seen_non_phi = True
+            if inst.parent is not block:
+                raise VerificationError(
+                    "%s: instruction %r has wrong parent" % (function.name, inst))
+
+
+def _check_phi_edges(function: Function) -> None:
+    preds = _predecessor_map(function)
+    for block in function.blocks:
+        expected = preds[block]
+        for phi in block.phis():
+            got = list(phi.blocks)
+            if len(got) != len(expected) or set(id(b) for b in got) != set(
+                    id(b) for b in expected):
+                raise VerificationError(
+                    "%s: phi %r in %s has incoming blocks {%s}, expected {%s}"
+                    % (function.name, phi, block.name,
+                       ", ".join(b.name for b in got),
+                       ", ".join(b.name for b in expected)))
+            for value in phi.operands:
+                if value.type is not phi.type and not (
+                        value.type.is_numeric and phi.type.is_numeric):
+                    raise VerificationError(
+                        "%s: phi %r has incoming of type %s"
+                        % (function.name, phi, value.type))
+
+
+def _check_dominance(function: Function) -> None:
+    doms = _dominator_sets(function)
+    block_index = {id(b): b for b in function.blocks}
+    positions: Dict[int, int] = {}
+    for block in function.blocks:
+        for pos, inst in enumerate(block.instructions):
+            positions[id(inst)] = pos
+
+    def defined_before(def_inst: Instruction, use_inst: Instruction,
+                       use_block: BasicBlock) -> bool:
+        def_block = def_inst.parent
+        if def_block is None or id(def_block) not in block_index:
+            return False
+        if def_block is use_block:
+            return positions[id(def_inst)] < positions[id(use_inst)]
+        return def_block in doms[use_block]
+
+    for block in function.blocks:
+        for inst in block.instructions:
+            if isinstance(inst, Phi):
+                for value, pred in zip(inst.operands, inst.blocks):
+                    if isinstance(value, Instruction):
+                        # The def must dominate the end of the incoming edge.
+                        if value.parent is not pred and value.parent not in doms[pred]:
+                            raise VerificationError(
+                                "%s: phi %r incoming %s from %s not dominated by def"
+                                % (function.name, inst, value.short(), pred.name))
+                continue
+            for value in inst.operands:
+                if isinstance(value, Instruction):
+                    if not defined_before(value, inst, block):
+                        raise VerificationError(
+                            "%s: use of %s in %r (block %s) not dominated by its def"
+                            % (function.name, value.short(), inst, block.name))
+                elif isinstance(value, Argument):
+                    if value.function is not function:
+                        raise VerificationError(
+                            "%s: use of foreign argument %%%s"
+                            % (function.name, value.name))
+                elif not isinstance(value, (Constant, GlobalVariable, FunctionRef)):
+                    raise VerificationError(
+                        "%s: unknown operand kind %r" % (function.name, value))
+
+
+def _check_returns(function: Function) -> None:
+    for block in function.blocks:
+        term = block.terminator
+        if isinstance(term, Ret):
+            if function.return_type is VOID:
+                if term.value is not None:
+                    raise VerificationError(
+                        "%s: void function returns a value" % function.name)
+            else:
+                if term.value is None:
+                    raise VerificationError(
+                        "%s: non-void function returns nothing" % function.name)
+                if term.value.type is not function.return_type and not (
+                        term.value.type.is_numeric
+                        and function.return_type.is_numeric):
+                    raise VerificationError(
+                        "%s: return of type %s, expected %s"
+                        % (function.name, term.value.type, function.return_type))
+
+
+def _check_module_references(function: Function, module: Module) -> None:
+    for inst in function.instructions():
+        if isinstance(inst, Call):
+            if module.functions.get(inst.callee.name) is not inst.callee:
+                raise VerificationError(
+                    "%s: call to function %s not in module"
+                    % (function.name, inst.callee.name))
+        for op in inst.operands:
+            if isinstance(op, GlobalVariable):
+                if module.globals.get(op.name) is not op:
+                    raise VerificationError(
+                        "%s: reference to global @%s not in module"
+                        % (function.name, op.name))
+            if isinstance(op, FunctionRef):
+                if op.function_name not in module.functions:
+                    raise VerificationError(
+                        "%s: function reference &%s not in module"
+                        % (function.name, op.function_name))
+
+
+# ---------------------------------------------------------------------------
+# Local dominance computation (simple iterative algorithm)
+# ---------------------------------------------------------------------------
+
+
+def _predecessor_map(function: Function) -> Dict[BasicBlock, List[BasicBlock]]:
+    preds: Dict[BasicBlock, List[BasicBlock]] = {b: [] for b in function.blocks}
+    for block in function.blocks:
+        for succ in block.successors():
+            if succ not in preds:
+                raise VerificationError(
+                    "%s: successor %s of %s is not in the function"
+                    % (function.name, succ.name, block.name))
+            preds[succ].append(block)
+    return preds
+
+
+def _dominator_sets(function: Function) -> Dict[BasicBlock, Set[BasicBlock]]:
+    """dom[b] = set of *strict* dominators of b, via iterative dataflow.
+
+    Dominance is defined over paths from the entry, so unreachable
+    predecessors must be ignored; unreachable blocks themselves keep the
+    full universe (every check on them passes vacuously).
+    """
+    blocks = function.blocks
+    preds = _predecessor_map(function)
+    entry = function.entry
+    universe = set(blocks)
+
+    reachable: Set[int] = set()
+    stack = [entry]
+    while stack:
+        block = stack.pop()
+        if id(block) in reachable:
+            continue
+        reachable.add(id(block))
+        stack.extend(block.successors())
+
+    dom: Dict[BasicBlock, Set[BasicBlock]] = {
+        b: (set() if b is entry else set(universe)) for b in blocks}
+    changed = True
+    while changed:
+        changed = False
+        for block in blocks:
+            if block is entry or id(block) not in reachable:
+                continue
+            pred_doms = [dom[p] | {p} for p in preds[block]
+                         if id(p) in reachable]
+            new = set.intersection(*pred_doms) if pred_doms else set()
+            new.discard(block)
+            if new != dom[block]:
+                dom[block] = new
+                changed = True
+    return dom

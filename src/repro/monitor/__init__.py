@@ -1,0 +1,25 @@
+"""BLOCKWATCH runtime monitor: lock-free queues, two-level branch table,
+and the category-specific similarity checks."""
+
+from repro.monitor.checker import (
+    CheckStatistics,
+    Violation,
+    check_instance,
+)
+from repro.monitor.hashtable import BranchTable, InstanceEntry
+from repro.monitor.messages import (
+    BranchMessage,
+    ConditionMessage,
+    OutcomeMessage,
+    RuntimeKey,
+)
+from repro.monitor.hierarchy import HierarchicalMonitor
+from repro.monitor.monitor import MODE_FEED, MODE_FULL, Monitor
+from repro.monitor.queue import SpscQueue
+
+__all__ = [
+    "CheckStatistics", "Violation", "check_instance",
+    "BranchTable", "InstanceEntry",
+    "BranchMessage", "ConditionMessage", "OutcomeMessage", "RuntimeKey",
+    "MODE_FEED", "MODE_FULL", "HierarchicalMonitor", "Monitor", "SpscQueue",
+]

@@ -1,0 +1,113 @@
+"""The monitor's two-level branch table (paper Section III-B).
+
+The paper keys each runtime branch instance by a *static identifier*
+(position of the branch in the program) plus a *runtime identifier* (the
+call-site path of the enclosing invocation and the iteration numbers of
+all outer loops), and splits the table in two levels — call-site × static
+id first, loop iterations second — "to achieve better utilization of the
+memory and reduction of access times".
+
+We add a third component the paper leaves implicit: an *occurrence
+index*.  When the same call site is re-executed (e.g. the caller spins in
+a loop the callee knows nothing about), identical (static, runtime) keys
+repeat; the table then matches the k-th occurrence reported by each
+thread against the k-th of every other, which keeps SPMD instances
+aligned without ever mixing distinct dynamic instances.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Tuple
+
+from repro.instrument.config import CheckedBranchInfo
+from repro.monitor.messages import RuntimeKey
+
+
+@dataclass
+class InstanceEntry:
+    """All reports for one dynamic instance of one branch."""
+
+    info: CheckedBranchInfo
+    #: thread id -> condition basis values (from sendBranchCondition)
+    values: Dict[int, Tuple] = field(default_factory=dict)
+    #: thread id -> branch outcome (from sendBranchAddr)
+    outcomes: Dict[int, bool] = field(default_factory=dict)
+    checked: bool = False
+
+    @property
+    def reporters(self) -> int:
+        return len(self.outcomes)
+
+    def complete_for(self, nthreads: int) -> bool:
+        """All worker threads have reported this instance.
+
+        Store-value checks have no outcome message (there is no decision
+        to report), so completeness is value-count only for them."""
+        if self.info.check_kind.startswith("store"):
+            return len(self.values) == nthreads
+        return len(self.outcomes) == nthreads and len(self.values) == nthreads
+
+
+class BranchTable:
+    """Two-level hash table plus per-thread occurrence counters."""
+
+    def __init__(self):
+        # level 1: (call-site path, static id) -> level 2 dict
+        # level 2: (loop iterations, occurrence) -> InstanceEntry
+        self._table: Dict[Tuple[Tuple[int, ...], int],
+                          Dict[Tuple[Tuple[int, ...], int], InstanceEntry]] = {}
+        # (level1 key, loop iters, thread, message kind) -> occurrences seen
+        self._occurrence: Dict[Tuple, int] = {}
+        self.entries_created = 0
+
+    def _entry(self, info: CheckedBranchInfo, key: RuntimeKey,
+               thread_id: int, kind: str) -> InstanceEntry:
+        call_path, loop_iters = key
+        level1_key = (call_path, info.static_id)
+        occ_key = (level1_key, loop_iters, thread_id, kind)
+        occurrence = self._occurrence.get(occ_key, 0)
+        self._occurrence[occ_key] = occurrence + 1
+        level2 = self._table.setdefault(level1_key, {})
+        level2_key = (loop_iters, occurrence)
+        entry = level2.get(level2_key)
+        if entry is None:
+            entry = InstanceEntry(info=info)
+            level2[level2_key] = entry
+            self.entries_created += 1
+        return entry
+
+    def record_condition(self, info: CheckedBranchInfo, key: RuntimeKey,
+                         thread_id: int, values: Tuple) -> InstanceEntry:
+        entry = self._entry(info, key, thread_id, "cond")
+        entry.values[thread_id] = values
+        return entry
+
+    def record_outcome(self, info: CheckedBranchInfo, key: RuntimeKey,
+                       thread_id: int, taken: bool) -> InstanceEntry:
+        entry = self._entry(info, key, thread_id, "outcome")
+        entry.outcomes[thread_id] = taken
+        return entry
+
+    def all_entries(self) -> List[InstanceEntry]:
+        return [entry for level2 in self._table.values()
+                for entry in level2.values()]
+
+    def pending_entries(self) -> List[InstanceEntry]:
+        return [e for e in self.all_entries() if not e.checked]
+
+    def discard_checked(self) -> int:
+        """Free completed instances (keeps the table bounded on long runs)."""
+        freed = 0
+        for level1_key in list(self._table):
+            level2 = self._table[level1_key]
+            for level2_key in list(level2):
+                if level2[level2_key].checked:
+                    del level2[level2_key]
+                    freed += 1
+            if not level2:
+                del self._table[level1_key]
+        return freed
+
+    def __len__(self) -> int:
+        return sum(len(level2) for level2 in self._table.values())

@@ -1,0 +1,104 @@
+"""Cycle cost model of the simulated 32-core machine.
+
+The paper measures on four 8-core AMD Opteron 6128 sockets.  Two
+machine-level effects drive the shape of its Figures 6 and 7, and both
+are modeled here:
+
+1. **NUMA penalty** (the 1→2 thread overhead *bump*): with a single
+   thread all data is socket-local; the OS spreads ≥2 threads across
+   sockets, so shared-memory traffic pays a remote factor.  The
+   instrumented program does strictly more memory traffic (queue writes),
+   so the penalty hits it harder and the relative overhead *rises* from
+   1 to 2 threads.
+2. **Synchronization cost growth** (the 2→32 thread overhead *decline*):
+   barrier and lock hand-off costs grow with the thread count, so the
+   baseline stops scaling linearly while the per-thread instrumentation
+   work (proportional to per-thread branch executions) keeps halving.
+   The relative overhead therefore falls toward 1 — the paper's 2.15×
+   at 4 threads vs 1.16× at 32.
+
+Costs are in abstract cycles; only ratios are meaningful, which is also
+how the paper reports its numbers (normalized execution time).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+
+@dataclass
+class CostModel:
+    """Per-operation cycle costs and machine geometry."""
+
+    # -- core op costs ----------------------------------------------------
+    alu: float = 1.0
+    mul: float = 3.0
+    div: float = 18.0
+    fp: float = 4.0
+    cmp: float = 1.0
+    branch: float = 1.0
+    jump: float = 0.5
+    cast: float = 2.0
+    call: float = 8.0
+    intrinsic: float = 2.0
+    output: float = 12.0
+
+    # -- memory hierarchy ---------------------------------------------------
+    #: scalar/array access when all traffic stays on one socket
+    mem_local: float = 6.0
+    #: multiplier applied once threads span sockets (remote DRAM/HT hop)
+    numa_factor: float = 4.0
+    cores_per_socket: int = 8
+    total_cores: int = 32
+
+    # -- synchronization ---------------------------------------------------
+    lock_base: float = 12.0
+    lock_transfer: float = 250.0
+    barrier_base: float = 300.0
+    #: per-participant communication cost of one barrier episode
+    barrier_per_thread: float = 1200.0
+
+    # -- instrumentation ---------------------------------------------------
+    #: fixed cost of building one monitor message
+    send_fixed: float = 3.0
+    #: queue-slot memory writes per message (charged at memory cost)
+    send_mem_writes: int = 1
+    #: cycles burned per producer stall on a full queue
+    stall: float = 25.0
+
+    # -- derived ------------------------------------------------------------
+
+    def sockets_used(self, nthreads: int) -> int:
+        """The OS scatters threads across sockets (the paper observed 2
+        threads landing on 2 sockets), so: one socket for one thread,
+        otherwise min(nthreads, #sockets)."""
+        total_sockets = max(1, self.total_cores // self.cores_per_socket)
+        if nthreads <= 1:
+            return 1
+        return min(nthreads, total_sockets)
+
+    def memory_cost(self, nthreads: int) -> float:
+        """Average cost of one shared-memory access."""
+        if self.sockets_used(nthreads) <= 1:
+            return self.mem_local
+        return self.mem_local * self.numa_factor
+
+    def send_cost(self, nthreads: int) -> float:
+        """Cost of one sendBranchCondition / sendBranchAddr call."""
+        return self.send_fixed + self.send_mem_writes * self.memory_cost(nthreads)
+
+    def barrier_cost(self, nthreads: int) -> float:
+        return self.barrier_base + self.barrier_per_thread * nthreads
+
+    def binop_cost(self, op: str, is_float: bool) -> float:
+        if op in ("mul",):
+            return self.fp if is_float else self.mul
+        if op in ("div", "mod"):
+            return self.div
+        if is_float:
+            return self.fp
+        return self.alu
+
+
+def default_cost_model() -> CostModel:
+    return CostModel()

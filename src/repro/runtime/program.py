@@ -1,0 +1,137 @@
+"""High-level run API: compile → (analyze → instrument) → execute.
+
+:class:`ParallelProgram` owns the two compiled images of one MiniC
+program — the plain baseline and the BLOCKWATCH-instrumented version —
+plus its analysis artifacts, and knows how to execute either on the
+simulated machine.  This is the object the examples, the fault-injection
+campaigns, and the benchmark harnesses all drive.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Optional
+
+from repro.analysis import AnalysisConfig, SimilarityResult, analyze_module
+from repro.frontend import compile_source
+from repro.instrument import InstrumentConfig, instrument_module
+from repro.monitor import MODE_FEED, MODE_FULL, Monitor
+from repro.runtime.costmodel import CostModel
+from repro.runtime.interpreter import FaultHook, Machine, RunResult
+from repro.runtime.memory import SharedMemory
+
+
+@dataclass
+class RunConfig:
+    """Per-run knobs."""
+
+    nthreads: int = 4
+    seed: int = 0
+    #: 'full' checks; 'feed' sends without processing (the paper's
+    #: 32-thread performance setup); None runs the uninstrumented image.
+    monitor_mode: Optional[str] = MODE_FULL
+    #: >1 enables the hierarchical multi-monitor of the paper's Section VI
+    #: (that many leaf monitor threads, each serving a thread sub-group).
+    monitor_groups: int = 1
+    cost_model: CostModel = field(default_factory=CostModel)
+    quantum: int = 32
+    max_steps: int = 20_000_000
+    schedule_jitter: float = 2.0
+    halt_on_detection: bool = False
+
+
+class ParallelProgram:
+    """One SPMD program in both baseline and protected form."""
+
+    def __init__(self, source: str, name: str = "program",
+                 entry: str = "slave",
+                 analysis_config: Optional[AnalysisConfig] = None,
+                 instrument_config: Optional[InstrumentConfig] = None):
+        self.source = source
+        self.name = name
+        self.entry = entry
+        #: Uninstrumented image (the paper's baseline measurements).
+        self.baseline = compile_source(source, name)
+        #: Instrumented image plus its analysis.
+        self.protected = compile_source(source, name + ".bw")
+        aconfig = analysis_config if analysis_config is not None else AnalysisConfig(
+            entry=entry)
+        if aconfig.entry != entry:
+            raise ValueError("analysis entry %r != program entry %r"
+                             % (aconfig.entry, entry))
+        self.analysis: SimilarityResult = analyze_module(self.protected, aconfig)
+        self.metadata = instrument_module(self.protected, self.analysis,
+                                          instrument_config)
+        #: Analysis of the baseline image (identical IR), for reporting.
+        self.baseline_analysis: SimilarityResult = analyze_module(
+            self.baseline, aconfig)
+
+    # -- execution ---------------------------------------------------------
+
+    def run(self, config: RunConfig,
+            setup: Optional[Callable[[SharedMemory], None]] = None,
+            fault_hook: Optional[FaultHook] = None) -> RunResult:
+        """Execute one image per ``config.monitor_mode``.
+
+        ``setup`` is the host-side ``main()``: it may fill input globals
+        and arrays before the workers start.
+        """
+        if config.monitor_mode is None:
+            module, monitor = self.baseline, None
+        elif config.monitor_mode in (MODE_FULL, MODE_FEED):
+            module = self.protected
+            if config.monitor_groups > 1:
+                from repro.monitor import HierarchicalMonitor
+                monitor = HierarchicalMonitor(
+                    self.metadata, config.nthreads,
+                    groups=config.monitor_groups, mode=config.monitor_mode)
+            else:
+                monitor = Monitor(self.metadata, config.nthreads,
+                                  mode=config.monitor_mode)
+        else:
+            raise ValueError("unknown monitor mode %r" % config.monitor_mode)
+        machine = Machine(
+            module, config.nthreads, entry=self.entry, monitor=monitor,
+            cost_model=config.cost_model, fault_hook=fault_hook,
+            seed=config.seed, quantum=config.quantum,
+            max_steps=config.max_steps,
+            schedule_jitter=config.schedule_jitter,
+            halt_on_detection=config.halt_on_detection)
+        if setup is not None:
+            setup(machine.memory)
+        return machine.run()
+
+    def run_baseline(self, nthreads: int, seed: int = 0,
+                     setup: Optional[Callable[[SharedMemory], None]] = None,
+                     **kwargs) -> RunResult:
+        return self.run(RunConfig(nthreads=nthreads, seed=seed,
+                                  monitor_mode=None, **kwargs), setup=setup)
+
+    def run_protected(self, nthreads: int, seed: int = 0,
+                      setup: Optional[Callable[[SharedMemory], None]] = None,
+                      monitor_mode: str = MODE_FULL,
+                      fault_hook: Optional[FaultHook] = None,
+                      **kwargs) -> RunResult:
+        return self.run(RunConfig(nthreads=nthreads, seed=seed,
+                                  monitor_mode=monitor_mode, **kwargs),
+                        setup=setup, fault_hook=fault_hook)
+
+    # -- reporting helpers ------------------------------------------------
+
+    def overhead(self, nthreads: int, seed: int = 0,
+                 setup: Optional[Callable[[SharedMemory], None]] = None) -> float:
+        """Instrumented/baseline parallel-section time ratio, measured the
+        paper's way: the monitor is fed but disabled (mode 'feed')."""
+        base = self.run_baseline(nthreads, seed=seed, setup=setup)
+        prot = self.run_protected(nthreads, seed=seed, setup=setup,
+                                  monitor_mode=MODE_FEED)
+        if base.status != "ok" or prot.status != "ok":
+            raise RuntimeError(
+                "overhead measurement needs clean runs (baseline=%s, "
+                "protected=%s)" % (base.status, prot.status))
+        if base.parallel_time <= 0:
+            raise RuntimeError("baseline run consumed no cycles")
+        return prot.parallel_time / base.parallel_time
+
+    def checked_branch_count(self) -> int:
+        return len(self.metadata.branches)

@@ -1,0 +1,173 @@
+"""``FFT`` — iterative radix-2 butterfly kernel.
+
+Skeleton of SPLASH-2's FFT: log₂(N) butterfly stages over an N-point
+signal with a host-filled twiddle table, blocks of each stage dealt to
+threads round-robin, barrier per stage, plus a bit-reversal permutation
+phase invoked from two different call sites — the *multiple instances*
+motif of the paper's Figure 2 (``foo(1)``/``foo(2)``): the argument stays
+``shared`` and the runtime keys its checks by call site.
+
+Arithmetic is integer "butterfly-like" mixing (adds/subs/shifted
+multiplies by twiddle factors); the data array is written during the
+parallel section, so data-dependent conditions classify ``none``, while
+stage/block structure stays shared/threadID and the per-stage coefficient
+selection seeds the partial family — the Table V mix for FFT is roughly
+one third shared, one quarter threadID, 40 % partial.
+"""
+
+from __future__ import annotations
+
+import random
+
+from repro.runtime.memory import SharedMemory
+from repro.splash2.common import KernelSpec
+
+#: Signal length; power of two, divisible by 32 blocks at every stage mix.
+N = 256
+LOG_N = 8
+
+SOURCE = """
+// FFT: radix-2 integer butterflies, contiguous block ownership
+global int nprocs;
+global int n = %(n)d;
+global int logn = %(logn)d;
+global int tw_cut = 48;
+global int scale_lo = 1;
+global int scale_hi = 2;
+global int data_re[%(n)d];
+global int data_im[%(n)d];
+global int twiddle[%(n)d];
+global int stagesum[%(logn)d];
+global int blocknote[%(n)d];
+global barrier bar;
+
+// Bit-reversal swap over one strided half: the paper's Figure 2
+// function, called from two different sites with different (shared)
+// arguments.  Each thread owns a contiguous index block, so iteration
+// indices line up across threads for the monitor.
+func reverse_pass(int stride) {
+  local int procid = tid();
+  local int per = n / 2 / nprocs;
+  local int ifirst = procid * per;
+  local int i;
+  for (i = ifirst; i < ifirst + per; i = i + 1) {
+    local int j = i * 2 + stride;
+    if (j < n) {
+      local int k = n - 1 - j;
+      if (k > j) {
+        local int tr = data_re[j];
+        local int ti = data_im[j];
+        data_re[j] = data_re[k];
+        data_im[j] = data_im[k];
+        data_re[k] = tr;
+        data_im[k] = ti;
+      }
+    }
+  }
+}
+
+// One butterfly: twiddles come from the host-filled (read-only) table.
+func butterfly(int top, int bot, int w, int scale) {
+  local int xr = data_re[top];
+  local int xi = data_im[top];
+  local int yr = data_re[bot];
+  local int yi = data_im[bot];
+  local int tr = (yr * w - yi) >> 4;
+  local int ti = (yi * w + yr) >> 4;
+  data_re[top] = (xr + tr) * scale;
+  data_im[top] = (xi + ti) * scale;
+  data_re[bot] = (xr - tr) * scale;
+  data_im[bot] = (xi - ti) * scale;
+}
+
+// All butterflies of one block of one stage; `scale` is the per-stage
+// partial seed, the loop bound is shared.
+func do_block(int base, int half, int nblocks, int scale) {
+  local int j;
+  for (j = 0; j < half; j = j + 1) {
+    local int w = twiddle[j * nblocks];
+    butterfly(base + j, base + j + half, w, scale);
+  }
+  // Partial family: stage-coefficient decisions.  Each block slot is
+  // written only by its owner, so the note array stays deterministic.
+  if (scale > 1) {
+    if (scale * half > tw_cut) {
+      blocknote[base] = blocknote[base] + 1;
+    }
+  }
+  if (scale + half > 3) {
+    if (scale %% 2 == 1) {
+      blocknote[base] = blocknote[base] + 2;
+    }
+  }
+  // Overflow guard on freshly written data: `none`.
+  local int probe = data_re[base];
+  if (probe > 1000000) {
+    blocknote[base] = blocknote[base] + 4;
+  }
+}
+
+func slave() {
+  local int procid = tid();
+  // Figure 2 motif: same function, two call sites, different shared args.
+  reverse_pass(0);
+  barrier(bar);
+  reverse_pass(1);
+  barrier(bar);
+  local int s;
+  for (s = 0; s < logn; s = s + 1) {
+    local int half = 1 << s;
+    local int span = half * 2;
+    local int nblocks = n / span;
+    // Per-stage coefficient: one of two shared values -> partial seed.
+    local int scale;
+    if (s %% 2 == 0) {
+      scale = scale_lo;
+    } else {
+      scale = scale_hi;
+    }
+    local int bper = nblocks / nprocs;
+    if (bper > 0) {
+      // Early stages: a contiguous run of blocks per thread.
+      local int b;
+      for (b = procid * bper; b < procid * bper + bper; b = b + 1) {
+        do_block(b * span, half, nblocks, scale);
+      }
+    } else {
+      // Late stages have fewer blocks than threads: the low thread ids
+      // take one block each (threadID monotone compare).
+      if (procid < nblocks) {
+        do_block(procid * span, half, nblocks, scale);
+      }
+    }
+    // Stage bookkeeping on the partial seed.
+    local int note = 0;
+    if (scale == scale_hi) {
+      note = 1;
+    }
+    if (note + scale > 2) {
+      note = note + 2;
+    }
+    if (procid == 0) {
+      stagesum[s] = note;
+    }
+    barrier(bar);
+  }
+}
+""" % {"n": N, "logn": LOG_N}
+
+
+def _setup(memory: SharedMemory, nthreads: int, rng: random.Random) -> None:
+    memory.set_array("data_re", [rng.randrange(-128, 128) for _ in range(N)])
+    memory.set_array("data_im", [rng.randrange(-128, 128) for _ in range(N)])
+    memory.set_array("twiddle", [((i * 37) % 31) - 15 for i in range(N)])
+
+
+FFT = KernelSpec(
+    name="fft",
+    source=SOURCE,
+    output_globals=("data_re", "data_im", "stagesum", "blocknote"),
+    setup_fn=_setup,
+    params={"n": N, "logn": LOG_N},
+    description="radix-2 integer butterfly FFT skeleton, round-robin blocks",
+)

@@ -1,0 +1,174 @@
+"""``FMM`` — hierarchical N-body (fast-multipole skeleton).
+
+Skeleton of SPLASH-2's FMM reduced to one dimension: a complete binary
+tree over the body array is built inside the parallel section (sizes and
+centers per node), then every thread computes forces for its block of
+bodies by a recursive multipole-acceptance traversal.
+
+The traversal's decisions — leaf tests against node contents, the MAC
+``size * theta < distance`` test, direct-interaction cutoffs — all read
+tree arrays *written in the parallel section*, so the analysis can prove
+no similarity: FMM is the suite's first ``none``-dominated program
+(Table V: 51 % none), which the paper attributes to branch conditions
+where both variables are thread-local.
+
+The recursive ``walk`` also exercises the runtime's call-path keying:
+every recursion level is a distinct call-site chain, so reports from
+different tree paths never mix.
+"""
+
+from __future__ import annotations
+
+import random
+
+from repro.runtime.memory import SharedMemory
+from repro.splash2.common import KernelSpec
+
+#: Bodies (= leaves); power of two, divisible by 32.
+NBODY = 64
+#: Internal nodes of the complete binary tree: NBODY - 1.
+NNODES = 2 * NBODY - 1
+
+SOURCE = """
+// FMM: 1-D hierarchical N-body with recursive MAC traversal
+global int id;
+global lock idlock;
+global int nprocs;
+global int nbody = %(nbody)d;
+global int nnodes = %(nnodes)d;
+global int theta = 3;
+global int soft_lo = 1;
+global int soft_hi = 2;
+global int fmax = 5000;
+global int bodyx[%(nbody)d];
+global int bodym[%(nbody)d];
+global int nodecx[%(nnodes)d];
+global int nodemass[%(nnodes)d];
+global int nodesize[%(nnodes)d];
+global int accel[%(nbody)d];
+global barrier bar;
+
+// Recursive multipole traversal: returns the force on a body at `bx`.
+// Every condition reads tree data written this phase -> `none`.
+func walk(int node, int bx, int soft) : int {
+  local int cx = nodecx[node];
+  local int d = bx - cx;
+  if (d < 0) {
+    d = 0 - d;
+  }
+  if (node >= nbody - 1) {
+    // Leaf: direct interaction (skip self by zero distance).
+    if (d == 0) {
+      return 0;
+    }
+    local int f = nodemass[node] * 16 / (d * d * 4 + 16 + soft);
+    if (f > fmax) {
+      f = fmax;
+    }
+    if (bx < cx) {
+      return 0 - f;
+    }
+    return f;
+  }
+  // Multipole acceptance criterion: far-away cells are approximated.
+  if (nodesize[node] * theta < d) {
+    local int fa = nodemass[node] * 16 / (d * d * 4 + 16 + soft);
+    if (fa > fmax) {
+      fa = fmax;
+    }
+    if (bx < cx) {
+      return 0 - fa;
+    }
+    return fa;
+  }
+  return walk(2 * node + 1, bx, soft) + walk(2 * node + 2, bx, soft);
+}
+
+func slave() {
+  local int procid;
+  lock(idlock);
+  procid = id;
+  id = id + 1;
+  unlock(idlock);
+  local int per = nbody / nprocs;
+  local int first = procid * per;
+  local int last = first + per;
+  // Phase 1: leaves of the tree (own block).
+  local int i;
+  for (i = first; i < last; i = i + 1) {
+    local int leaf = nbody - 1 + i;
+    nodecx[leaf] = bodyx[i];
+    nodemass[leaf] = bodym[i];
+    nodesize[leaf] = 1;
+  }
+  barrier(bar);
+  // Phase 2: internal nodes, bottom-up (thread 0; tree is small).
+  if (procid == 0) {
+    local int nn;
+    for (nn = nbody - 2; nn >= 0; nn = nn - 1) {
+      local int lc = 2 * nn + 1;
+      local int rc = 2 * nn + 2;
+      local int m = nodemass[lc] + nodemass[rc];
+      if (m == 0) {
+        m = 1;
+      }
+      nodecx[nn] = (nodecx[lc] * nodemass[lc]
+                    + nodecx[rc] * nodemass[rc]) / m;
+      nodemass[nn] = m;
+      local int span = nodecx[rc] - nodecx[lc];
+      if (span < 0) {
+        span = 0 - span;
+      }
+      nodesize[nn] = nodesize[lc] + nodesize[rc] + span / 8;
+    }
+  }
+  barrier(bar);
+  // Phase 3: force evaluation for owned bodies.
+  local int accuracy;
+  if (nbody > 32) {
+    accuracy = soft_lo;
+  } else {
+    accuracy = soft_hi;
+  }
+  local int b;
+  for (b = first; b < last; b = b + 1) {
+    local int f = walk(0, bodyx[b], accuracy);
+    // Post-traversal decisions on the partial accuracy seed.
+    if (accuracy > 1) {
+      f = f + 1;
+    }
+    if (accuracy * 3 > 4) {
+      if (f > 0) {
+        f = f - 1;
+      }
+    }
+    if (accuracy + theta > 4) {
+      f = f + 1;
+    }
+    if (accuracy %% 2 == 0) {
+      if (theta > accuracy) {
+        f = f - 1;
+      }
+    }
+    accel[b] = f;
+  }
+  barrier(bar);
+}
+""" % {"nbody": NBODY, "nnodes": NNODES}
+
+
+def _setup(memory: SharedMemory, nthreads: int, rng: random.Random) -> None:
+    memory.set_array("bodyx", [i * 9 + rng.randrange(0, 4) - 280
+                               for i in range(NBODY)])
+    memory.set_array("bodym", [rng.randrange(1, 16) for _ in range(NBODY)])
+
+
+FMM = KernelSpec(
+    name="fmm",
+    source=SOURCE,
+    output_globals=("accel",),
+    setup_fn=_setup,
+    params={"nbody": NBODY},
+    sdc_quantize_bits=6,
+    description="1-D fast-multipole skeleton with recursive MAC traversal",
+)

@@ -1,0 +1,286 @@
+"""``continuous ocean`` — red-black SOR stencil solver.
+
+Skeleton of SPLASH-2's contiguous-partition Ocean: a red-black
+Gauss-Seidel relaxation over an N×N grid, T timesteps, rows partitioned
+in contiguous blocks per thread, barriers between color phases.
+
+The paper's Table V finds Ocean overwhelmingly **partial** (92 %): its
+inner-sweep decisions hinge on per-timestep relaxation parameters that
+are assigned one of a small set of shared coefficients — exactly the
+``private = 1 / -1`` pattern of the paper's Figure 1, which the analysis
+classifies partial at the if-else join.  This kernel reproduces that
+structure: a per-step ``relax``/``bias`` pair seeds a large family of
+partial conditions in the sweep helpers.
+
+Arithmetic is integer (fixed-point-style shifts), so results are exact
+and schedule-independent: each cell is written only by its owning thread
+and neighbors are read across a color barrier.
+"""
+
+from __future__ import annotations
+
+import random
+
+from repro.runtime.memory import SharedMemory
+from repro.splash2.common import KernelSpec
+
+#: Grid dimension (N×N); the 32 interior rows (boundaries excluded)
+#: divide evenly among up to 32 threads.
+N = 34
+#: Relaxation timesteps.
+TSTEPS = 2
+
+SOURCE = """
+// continuous ocean: red-black SOR, contiguous row blocks
+global int id;
+global lock idlock;
+global int nprocs;
+global int n = %(n)d;
+global int tsteps = %(tsteps)d;
+global int w_even = 3;
+global int w_odd = 5;
+global int bias_lo = 1;
+global int bias_hi = 2;
+global int tol = 96;
+global int cap = 4096;
+global int grid[%(cells)d];
+global int rowsum[%(n)d];
+global barrier bar;
+
+// One relaxation decision bundle.  `relax` and `bias` are partial (one of
+// a small set of shared coefficients), so every condition below folds to
+// partial -- the dominant Ocean pattern.
+func sweep_flags(int relax, int bias, int c) : int {
+  local int mode = 0;
+  if (relax > 4) {
+    mode = 2;
+  } else {
+    mode = 1;
+  }
+  if (bias > 1) {
+    mode = mode + 4;
+  }
+  if (relax + bias > 6) {
+    mode = mode + 8;
+  }
+  if (c %% 2 == bias - 1) {
+    mode = mode + 16;
+  }
+  if (relax * bias > 5) {
+    mode = mode + 32;
+  }
+  if (c * relax > 64) {
+    mode = mode + 64;
+  }
+  if (relax - bias > 2) {
+    mode = mode + 128;
+  }
+  if (mode %% 3 == 0) {
+    mode = mode + 1;
+  }
+  return mode;
+}
+
+// Weight selection for one cell; all conditions partial for the same
+// reason as sweep_flags.
+func cell_weight(int relax, int bias, int mode) : int {
+  local int w = relax;
+  if (mode > 40) {
+    w = w + bias;
+  }
+  if (mode %% 5 == bias) {
+    w = w + 1;
+  }
+  if (w > 6) {
+    w = 6;
+  }
+  if (w < 2) {
+    w = 2;
+  }
+  if (mode - w > 30) {
+    w = w + 1;
+  }
+  return w;
+}
+
+// Boundary-condition treatment for one cell; a third all-partial family
+// (the real Ocean spends most of its branches on exactly this kind of
+// per-coefficient case analysis).
+func edge_treatment(int relax, int bias, int mode, int w) : int {
+  local int e = 0;
+  if (relax + w > 7) {
+    e = 1;
+  }
+  if (bias * w > 8) {
+    e = e + 2;
+  }
+  if (mode %% 7 == relax %% 7) {
+    e = e + 4;
+  }
+  if (w - bias > 3) {
+    e = e + 8;
+  }
+  if (e %% 2 == 0) {
+    if (relax > bias) {
+      e = e + 1;
+    }
+  }
+  if (mode + w > 90) {
+    e = e + 16;
+  }
+  if (e > 20) {
+    e = 20;
+  }
+  return e;
+}
+
+// Residual-damping schedule: another partial family.
+func damping(int relax, int bias, int t8) : int {
+  local int dmp = relax;
+  if (t8 == bias) {
+    dmp = dmp + 1;
+  }
+  if (dmp * 2 > relax + bias) {
+    dmp = dmp - 1;
+  }
+  if (dmp < 1) {
+    dmp = 1;
+  }
+  if (bias + dmp > relax) {
+    if (dmp %% 2 == 1) {
+      dmp = dmp + 2;
+    }
+  }
+  if (dmp > 9) {
+    dmp = 9;
+  }
+  return dmp;
+}
+
+func cell_update(int idx, int w) : int {
+  local int up = grid[idx - n];
+  local int down = grid[idx + n];
+  local int left = grid[idx - 1];
+  local int right = grid[idx + 1];
+  local int v = grid[idx];
+  local int stencil = up + down + left + right;
+  local int nv = v + ((stencil - 4 * v) * w >> 3);
+  // Data-dependent clamp: `nv` derives from the written grid -> `none`.
+  if (nv > cap) {
+    nv = cap;
+  }
+  return nv;
+}
+
+func slave() {
+  local int procid;
+  lock(idlock);
+  procid = id;
+  id = id + 1;
+  unlock(idlock);
+  // Contiguous interior-row blocks with *thread-local bounds*: every
+  // thread runs the same iteration indices over its own rows, so the
+  // monitor can line dynamic instances up across threads (and the row
+  // loop's bounds share one affine-in-tid coefficient -> `uniform`).
+  local int rows = (n - 2) / nprocs;
+  local int rfirst = 1 + procid * rows;
+  local int rlast = rfirst + rows;
+  local int t;
+  local int relax = 0;
+  local int bias = 0;
+  for (t = 0; t < tsteps; t = t + 1) {
+    // The partial seeds: one of two shared coefficients each.
+    if (t %% 2 == 0) {
+      relax = w_even;
+    } else {
+      relax = w_odd;
+    }
+    if (t %% 3 == 0) {
+      bias = bias_lo;
+    } else {
+      bias = bias_hi;
+    }
+    local int color;
+    for (color = 0; color < 2; color = color + 1) {
+      local int r;
+      for (r = rfirst; r < rlast; r = r + 1) {
+        {
+          {
+            local int flags = sweep_flags(relax, bias, (r - rfirst) %% 8);
+            local int mode = sweep_flags(relax, bias, (r - rfirst) %% 16);
+            local int w = cell_weight(relax, bias, mode);
+            local int e = edge_treatment(relax, bias, mode, w);
+            local int dmp = damping(relax, bias, t %% 8);
+            local int c;
+            for (c = 1; c < n - 1; c = c + 1) {
+              if ((r + c) %% 2 == color) {
+                local int nv = cell_update(r * n + c, w);
+                if (mode > 100) {
+                  nv = nv + bias;
+                }
+                if (flags %% 2 == 1) {
+                  if (relax > bias + 1) {
+                    nv = nv - 1;
+                  }
+                }
+                if (e > 10) {
+                  nv = nv + 1;
+                }
+                if (dmp > relax) {
+                  nv = nv - 1;
+                }
+                grid[r * n + c] = nv;
+              }
+            }
+          }
+        }
+      }
+      barrier(bar);
+    }
+    // Per-step smoothing decision chain (all partial).
+    local int adj = 0;
+    if (relax > 3) {
+      adj = 1;
+    }
+    if (bias == 2) {
+      adj = adj + 2;
+    }
+    if (adj > 2) {
+      if (relax + adj > 7) {
+        adj = adj - 1;
+      }
+    }
+    if (adj * relax > 8) {
+      adj = adj + 1;
+    }
+    barrier(bar);
+  }
+  // Row checksums into the output array (owned rows only).
+  local int r2;
+  for (r2 = rfirst; r2 < rlast; r2 = r2 + 1) {
+    local int acc = 0;
+    local int c2;
+    for (c2 = 0; c2 < n; c2 = c2 + 1) {
+      acc = acc + grid[r2 * n + c2];
+    }
+    rowsum[r2] = acc;
+  }
+  barrier(bar);
+}
+""" % {"n": N, "tsteps": TSTEPS, "cells": N * N}
+
+
+def _setup(memory: SharedMemory, nthreads: int, rng: random.Random) -> None:
+    cells = N * N
+    memory.set_array("grid", [rng.randrange(0, 1024) for _ in range(cells)])
+
+
+OCEAN_CONTIG = KernelSpec(
+    name="ocean_contig",
+    source=SOURCE,
+    output_globals=("grid", "rowsum"),
+    setup_fn=_setup,
+    params={"n": N, "tsteps": TSTEPS},
+    sdc_quantize_bits=2,
+    description="red-black SOR on an N x N grid, contiguous row blocks",
+)

@@ -1,0 +1,167 @@
+"""``noncontinuous ocean`` — red-black SOR with interleaved row ownership.
+
+Same solver family as :mod:`repro.splash2.ocean_contig`, but rows are
+dealt to threads round-robin (``r = procid+1; r += nprocs``) the way the
+non-contiguous-partition Ocean allocates its grids.  The interleaved
+loops make the row-loop conditions and per-row guards *threadID* instead
+of shared/partial, which is exactly the shift the paper's Table V shows
+between the two Ocean variants (threadID jumps from 2 % to 24 %).
+"""
+
+from __future__ import annotations
+
+import random
+
+from repro.runtime.memory import SharedMemory
+from repro.splash2.common import KernelSpec
+
+N = 32
+TSTEPS = 2
+
+SOURCE = """
+// noncontinuous ocean: red-black SOR, round-robin rows
+global int nprocs;
+global int n = %(n)d;
+global int tsteps = %(tsteps)d;
+global int w_even = 3;
+global int w_odd = 5;
+global int cap = 4096;
+global int grid[%(cells)d];
+global int rowsum[%(n)d];
+global barrier bar;
+
+// Relaxation-mode selection: an all-partial decision family seeded by
+// the per-step coefficient (cf. the contiguous Ocean's sweep helpers).
+func relax_mode(int relax, int c) : int {
+  local int mode = 0;
+  if (relax > 4) {
+    mode = 2;
+  } else {
+    mode = 1;
+  }
+  if (c %% 4 == relax %% 4) {
+    mode = mode + 4;
+  }
+  if (relax + mode > 6) {
+    mode = mode + 8;
+  }
+  if (mode %% 3 == relax %% 3) {
+    mode = mode + 16;
+  }
+  if (c * relax > 48) {
+    mode = mode + 32;
+  }
+  if (mode > 40) {
+    mode = 40;
+  }
+  return mode;
+}
+
+// Per-cell damping on the same seed: more partial decisions.
+func damp_weight(int relax, int mode) : int {
+  local int w = relax;
+  if (mode > 20) {
+    w = w - 1;
+  }
+  if (mode %% 2 == 1) {
+    w = w + 1;
+  }
+  if (w + mode > 30) {
+    if (relax > 3) {
+      w = w - 1;
+    }
+  }
+  if (w < 1) {
+    w = 1;
+  }
+  if (w > 7) {
+    w = 7;
+  }
+  return w;
+}
+
+// Column pass over one owned row; `relax` is the partial seed.
+func row_pass(int r, int color, int relax) {
+  local int c;
+  for (c = 1; c < n - 1; c = c + 1) {
+    if ((r + c) %% 2 == color) {
+      local int idx = r * n + c;
+      local int stencil = grid[idx - n] + grid[idx + n]
+                        + grid[idx - 1] + grid[idx + 1];
+      local int v = grid[idx];
+      local int mode = relax_mode(relax, c);
+      local int w = damp_weight(relax, mode);
+      if (mode + w > 36) {
+        w = w - 1;
+      }
+      local int nv = v + ((stencil - 4 * v) * w >> 3);
+      if (nv > cap) {
+        nv = cap;
+      }
+      grid[idx] = nv;
+    }
+  }
+}
+
+func slave() {
+  local int procid = tid();
+  local int t;
+  local int relax = 0;
+  for (t = 0; t < tsteps; t = t + 1) {
+    if (t %% 2 == 0) {
+      relax = w_even;
+    } else {
+      relax = w_odd;
+    }
+    local int color;
+    for (color = 0; color < 2; color = color + 1) {
+      // Interleaved ownership: threadID loop bounds everywhere.
+      local int r;
+      for (r = procid + 1; r < n - 1; r = r + nprocs) {
+        // Row-boundary guards on the interleaved index: threadID.
+        if (r > 0) {
+          if (r %% nprocs == procid %% nprocs) {
+            row_pass(r, color, relax);
+          }
+        }
+      }
+      barrier(bar);
+    }
+    // Per-step decisions on the partial seed.
+    local int adj = 0;
+    if (relax > 3) {
+      adj = 1;
+    }
+    if (adj + relax > 5) {
+      adj = adj + 1;
+    }
+    barrier(bar);
+  }
+  // Interleaved checksum phase: more threadID loops.
+  local int r2;
+  for (r2 = procid; r2 < n; r2 = r2 + nprocs) {
+    local int acc = 0;
+    local int c2;
+    for (c2 = 0; c2 < n; c2 = c2 + 1) {
+      acc = acc + grid[r2 * n + c2];
+    }
+    rowsum[r2] = acc;
+  }
+  barrier(bar);
+}
+""" % {"n": N, "tsteps": TSTEPS, "cells": N * N}
+
+
+def _setup(memory: SharedMemory, nthreads: int, rng: random.Random) -> None:
+    memory.set_array("grid", [rng.randrange(0, 1024) for _ in range(N * N)])
+
+
+OCEAN_NONCONTIG = KernelSpec(
+    name="ocean_noncontig",
+    source=SOURCE,
+    output_globals=("grid", "rowsum"),
+    setup_fn=_setup,
+    params={"n": N, "tsteps": TSTEPS},
+    sdc_quantize_bits=2,
+    description="red-black SOR on an N x N grid, interleaved rows",
+)

@@ -1,0 +1,314 @@
+"""``raytrace`` — function-pointer dispatch + deeply nested sampling loops.
+
+Skeleton of SPLASH-2's Raytrace, engineered to reproduce the two traits
+the paper blames for its poor coverage (Section V-C1):
+
+1. **Function pointers.**  Intersection routines are dispatched through a
+   function-pointer table (``callptr`` on ``shapefn[obj_type[o]]``).
+   Address-taken functions cannot be matched to call sites statically, so
+   their parameters — and most of their branches — classify ``none``;
+   at runtime, divergent call paths key into different hash-table entries
+   and leave the monitor too few comparable threads.
+2. **Deep loop nesting.**  The sampling stack is seven loops deep
+   (frame → tile row → tile column → subsample → bounce → object →
+   shadow ray); BLOCKWATCH only checks branches nested up to six loops
+   (hash-key cost), so the shadow-loop branches go unchecked.
+
+Pixels are dealt to threads round-robin; each framebuffer slot is
+written only by its owner, so output stays schedule-independent.
+"""
+
+from __future__ import annotations
+
+import random
+
+from repro.runtime.memory import SharedMemory
+from repro.splash2.common import KernelSpec
+
+#: Image is SIDE x SIDE pixels.
+SIDE = 8
+NPIXELS = SIDE * SIDE
+NOBJECTS = 8
+FRAMES = 1
+
+SOURCE = """
+// raytrace: fn-pointer shape dispatch, 7-deep sampling loops
+global int id;
+global lock idlock;
+global int nprocs;
+global int side = %(side)d;
+global int npixels = %(npixels)d;
+global int nobjects = %(nobj)d;
+global int frames = %(frames)d;
+global int ambient_lo = 2;
+global int ambient_hi = 4;
+global int horizon = 2000;
+global int obj_type[%(nobj)d];
+global int obj_a[%(nobj)d];
+global int obj_b[%(nobj)d];
+global int shapefn[%(nobj)d];
+global int framebuf[%(npixels)d];
+global barrier bar;
+
+// --- intersection routines (address-taken: params classify `none`) ---
+
+func isect_sphere(int px, int py, int a, int b) : int {
+  local int dx = px - a;
+  local int dy = py - b;
+  local int d2 = dx * dx + dy * dy;
+  if (d2 > 64) {
+    return 0;
+  }
+  if (d2 == 0) {
+    return 9;
+  }
+  return 64 / (d2 + 1);
+}
+
+func isect_plane(int px, int py, int a, int b) : int {
+  local int h = px * a + py * b;
+  if (h < 0) {
+    h = 0 - h;
+  }
+  if (h > 40) {
+    return 0;
+  }
+  return (40 - h) / 5;
+}
+
+func isect_box(int px, int py, int a, int b) : int {
+  local int dx = px - a;
+  if (dx < 0) {
+    dx = 0 - dx;
+  }
+  local int dy = py - b;
+  if (dy < 0) {
+    dy = 0 - dy;
+  }
+  if (dx > 5) {
+    return 0;
+  }
+  if (dy > 5) {
+    return 0;
+  }
+  return 8 - dx - dy;
+}
+
+func isect_disc(int px, int py, int a, int b) : int {
+  local int dx = px - a;
+  local int dy = py - b;
+  if (dx < 0) {
+    dx = 0 - dx;
+  }
+  local int r2 = dx * dx + dy * dy;
+  if (r2 > 49) {
+    return 0;
+  }
+  if (dy < 0) {
+    if (r2 < 9) {
+      return 7;
+    }
+  }
+  if (r2 == 0) {
+    return 8;
+  }
+  return 49 / (r2 + 2);
+}
+
+// Fog attenuation schedule: another all-partial family on the ambient
+// seed (the real raytrace spends many branches on per-scene shading
+// model selection exactly like this).
+func fog_attenuation(int ambient, int gamma, int band) : int {
+  local int fog = 0;
+  if (ambient > 2) {
+    fog = 1;
+  } else {
+    fog = 2;
+  }
+  if (gamma > ambient) {
+    fog = fog + 2;
+  }
+  if (band == ambient %% 3) {
+    fog = fog + 4;
+  }
+  if (fog * gamma > 10) {
+    fog = fog - 1;
+  }
+  if (ambient + gamma + fog > 9) {
+    fog = fog + 1;
+  }
+  if (fog %% 2 == 0) {
+    if (gamma < 5) {
+      fog = fog + 1;
+    }
+  }
+  if (fog > 12) {
+    fog = 12;
+  }
+  if (fog < 1) {
+    fog = 1;
+  }
+  return fog;
+}
+
+// Tone-mapping schedule: decisions on the per-run ambient coefficient
+// (one of a small set of shared values -> all partial).
+func tone_map(int ambient, int level) : int {
+  local int gamma = ambient;
+  if (ambient > 3) {
+    gamma = gamma - 1;
+  }
+  if (level == ambient %% 2) {
+    gamma = gamma + 2;
+  }
+  if (gamma * ambient > 6) {
+    gamma = gamma + 1;
+  }
+  if (gamma %% 3 == 0) {
+    if (ambient < 4) {
+      gamma = gamma + 1;
+    }
+  }
+  if (gamma + level > 5) {
+    gamma = gamma - 1;
+  }
+  if (ambient - gamma > 1) {
+    gamma = gamma + 1;
+  }
+  if (gamma < 1) {
+    gamma = 1;
+  }
+  if (gamma > 8) {
+    gamma = 8;
+  }
+  return gamma;
+}
+
+// Filter-kernel width for one subsample: same partial seed.
+func filter_width(int ambient, int gamma) : int {
+  local int fw = 1;
+  if (gamma > ambient) {
+    fw = 2;
+  }
+  if (gamma + ambient > 6) {
+    fw = fw + 1;
+  }
+  if (fw * gamma > 9) {
+    fw = fw - 1;
+  }
+  if (fw < 1) {
+    fw = 1;
+  }
+  return fw;
+}
+
+func slave() {
+  local int procid;
+  lock(idlock);
+  procid = id;
+  id = id + 1;
+  unlock(idlock);
+  // Thread 0 publishes the dispatch table (function addresses).
+  if (procid == 0) {
+    local int o;
+    for (o = 0; o < nobjects; o = o + 1) {
+      local int otype = obj_type[o];
+      if (otype == 0) {
+        shapefn[o] = &isect_sphere;
+      } else {
+        if (otype == 1) {
+          shapefn[o] = &isect_plane;
+        } else {
+          if (otype == 2) {
+            shapefn[o] = &isect_box;
+          } else {
+            shapefn[o] = &isect_disc;
+          }
+        }
+      }
+    }
+  }
+  barrier(bar);
+  // Shading coefficient: one of two shared values -> partial seed.
+  local int ambient;
+  if (side > 4) {
+    ambient = ambient_lo;
+  } else {
+    ambient = ambient_hi;
+  }
+  local int f;
+  for (f = 0; f < frames; f = f + 1) {                       // depth 1
+    local int ty;
+    for (ty = 0; ty < side; ty = ty + 1) {                   // depth 2
+      local int tx;
+      for (tx = 0; tx < side; tx = tx + 1) {                 // depth 3
+        local int pixel = ty * side + tx;
+        if (pixel %% nprocs == procid) {
+          local int shade = ambient;
+          local int sub;
+          for (sub = 0; sub < 2; sub = sub + 1) {            // depth 4
+            local int gamma = tone_map(ambient, sub);
+            local int fw = filter_width(ambient, gamma);
+            local int fog = fog_attenuation(ambient, gamma, sub);
+            local int px = tx * 4 + sub + fw - fw + fog - fog;
+            local int py = ty * 4 + sub;
+            local int bounce;
+            for (bounce = 0; bounce < 2; bounce = bounce + 1) { // depth 5
+              local int best = 0;
+              local int o2;
+              for (o2 = 0; o2 < nobjects; o2 = o2 + 1) {     // depth 6
+                local int hit = callptr(shapefn[o2], px, py,
+                                        obj_a[o2], obj_b[o2]);
+                if (hit > best) {
+                  best = hit;
+                }
+                local int sray;
+                for (sray = 0; sray < 2; sray = sray + 1) {  // depth 7
+                  // Beyond the nesting cutoff: never checked.
+                  local int sx = px + sray;
+                  if (sx %% 3 == 0) {
+                    if (hit > 2) {
+                      best = best + 1;
+                    }
+                  }
+                }
+              }
+              if (best > 6) {
+                shade = shade + best;
+              } else {
+                shade = shade + best / 2;
+              }
+              px = px + best %% 3;
+            }
+            if (ambient > 3) {
+              shade = shade + 1;
+            }
+          }
+          if (shade > horizon) {
+            shade = horizon;
+          }
+          framebuf[pixel] = shade;
+        }
+      }
+    }
+    barrier(bar);
+  }
+}
+""" % {"side": SIDE, "npixels": NPIXELS, "nobj": NOBJECTS, "frames": FRAMES}
+
+
+def _setup(memory: SharedMemory, nthreads: int, rng: random.Random) -> None:
+    memory.set_array("obj_type", [rng.randrange(0, 4) for _ in range(NOBJECTS)])
+    memory.set_array("obj_a", [rng.randrange(0, 32) for _ in range(NOBJECTS)])
+    memory.set_array("obj_b", [rng.randrange(0, 32) for _ in range(NOBJECTS)])
+
+
+RAYTRACE = KernelSpec(
+    name="raytrace",
+    source=SOURCE,
+    output_globals=("framebuf",),
+    setup_fn=_setup,
+    params={"side": SIDE, "nobjects": NOBJECTS, "frames": FRAMES},
+    sdc_quantize_bits=2,
+    description="function-pointer shape dispatch with 7-deep sampling loops",
+)

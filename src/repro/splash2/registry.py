@@ -1,0 +1,50 @@
+"""Benchmark registry: the seven programs of the paper's Table IV."""
+
+from __future__ import annotations
+
+from typing import Dict, List
+
+from repro.splash2.common import KernelSpec
+from repro.splash2.fft import FFT
+from repro.splash2.fmm import FMM
+from repro.splash2.ocean_contig import OCEAN_CONTIG
+from repro.splash2.ocean_noncontig import OCEAN_NONCONTIG
+from repro.splash2.radix import RADIX_SORT
+from repro.splash2.raytrace import RAYTRACE
+from repro.splash2.water_nsquared import WATER_NSQUARED
+
+#: Paper order (Table IV).
+KERNELS: Dict[str, KernelSpec] = {
+    spec.name: spec for spec in (
+        OCEAN_CONTIG,
+        FFT,
+        FMM,
+        OCEAN_NONCONTIG,
+        RADIX_SORT,
+        RAYTRACE,
+        WATER_NSQUARED,
+    )
+}
+
+#: Display names used by the paper's tables/figures.
+PAPER_NAMES: Dict[str, str] = {
+    "ocean_contig": "continuous ocean",
+    "fft": "FFT",
+    "fmm": "FMM",
+    "ocean_noncontig": "noncontinuous ocean",
+    "radix": "radix",
+    "raytrace": "raytrace",
+    "water_nsquared": "water-nsquared",
+}
+
+
+def kernel(name: str) -> KernelSpec:
+    try:
+        return KERNELS[name]
+    except KeyError:
+        raise KeyError("unknown kernel %r; available: %s"
+                       % (name, ", ".join(sorted(KERNELS)))) from None
+
+
+def all_kernels() -> List[KernelSpec]:
+    return list(KERNELS.values())

@@ -1,0 +1,157 @@
+"""``water-nsquared`` — O(N²) pairwise molecular-dynamics skeleton.
+
+Skeleton of SPLASH-2's Water-Nsquared: for each timestep, every thread
+owns a contiguous block of molecules, accumulates pairwise interactions
+against all higher-numbered molecules (the classic triangular loop), then
+integrates its own molecules.  To keep the force accumulation free of
+locks *and* deterministic, each thread writes partial forces into its own
+stripe of the accumulator array; the owner sums the stripes after a
+barrier — a standard SPLASH-2 reduction layout.
+
+Positions are host-filled and read-only during a force phase, but they
+are updated each timestep, so position-dependent cutoff tests classify
+``none``; block bounds are threadID; step/physics constants give the
+shared and partial families — Water's Table V row is the most
+shared-heavy of the suite (33 % shared).
+"""
+
+from __future__ import annotations
+
+import random
+
+from repro.runtime.memory import SharedMemory
+from repro.splash2.common import KernelSpec
+
+#: Molecule count; divisible by 32.
+NMOL = 64
+TSTEPS = 1
+MAX_THREADS = 32
+
+SOURCE = """
+// water-nsquared: O(N^2) pairwise interactions, striped force reduction
+global int nprocs;
+global int nmol = %(nmol)d;
+global int tsteps = %(tsteps)d;
+global int cutoff = 900;
+global int soft_lo = 2;
+global int soft_hi = 3;
+global int kinlimit = 2000;
+global int pos[%(nmol)d];
+global int vel[%(nmol)d];
+global int force[%(stripes)d];
+global int energy[%(nmol)d];
+global barrier bar;
+
+// Pair kernel: positions are data -> every test here is `none`.
+func pair_force(int xi, int xj, int soft) : int {
+  local int d = xi - xj;
+  if (d < 0) {
+    d = 0 - d;
+  }
+  local int d2 = d * d + soft;
+  if (d2 > cutoff) {
+    return 0;
+  }
+  local int f = (cutoff - d2) / (d * 4 + 4);
+  if (f > 16) {
+    f = 16;
+  }
+  return f;
+}
+
+func slave() {
+  local int procid = tid();
+  local int per = nmol / nprocs;
+  local int first = procid * per;
+  local int last = first + per;
+  local int stripe = procid * nmol;
+  local int t;
+  for (t = 0; t < tsteps; t = t + 1) {
+    // Physics coefficient for this step: partial seed.
+    local int soft;
+    if (t %% 2 == 0) {
+      soft = soft_lo;
+    } else {
+      soft = soft_hi;
+    }
+    // Global schedule decisions: shared family.
+    if (tsteps > 1) {
+      soft = soft + 0;
+    }
+    if (nmol > 32) {
+      if (cutoff > 500) {
+        soft = soft + 0;
+      }
+    }
+    if (soft > 2) {
+      soft = soft;
+    }
+    // Zero own force stripe.
+    local int z;
+    for (z = 0; z < nmol; z = z + 1) {
+      force[stripe + z] = 0;
+    }
+    barrier(bar);
+    // Triangular pair loop over owned molecules.
+    local int i;
+    for (i = first; i < last; i = i + 1) {
+      local int xi = pos[i];
+      local int j;
+      for (j = i + 1; j < nmol; j = j + 1) {
+        local int f = pair_force(xi, pos[j], soft);
+        if (f != 0) {
+          force[stripe + i] = force[stripe + i] + f;
+          force[stripe + j] = force[stripe + j] - f;
+        }
+      }
+      // Step-coefficient decisions: partial family.
+      if (soft > 2) {
+        force[stripe + i] = force[stripe + i] + 1;
+      }
+      if (soft * 2 > 5) {
+        if (soft < 4) {
+          force[stripe + i] = force[stripe + i] + 1;
+        }
+      }
+    }
+    barrier(bar);
+    // Integrate own molecules: sum force stripes of all threads.
+    local int m;
+    for (m = first; m < last; m = m + 1) {
+      local int ftot = 0;
+      local int p;
+      for (p = 0; p < nprocs; p = p + 1) {
+        ftot = ftot + force[p * nmol + m];
+      }
+      local int v = vel[m] + ftot / 8;
+      // Velocity clamp: derived from written data -> none.
+      if (v > kinlimit) {
+        v = kinlimit;
+      }
+      if (v < 0 - kinlimit) {
+        v = 0 - kinlimit;
+      }
+      vel[m] = v;
+      pos[m] = pos[m] + v / 4;
+      energy[m] = energy[m] + v * v / 16;
+    }
+    barrier(bar);
+  }
+}
+""" % {"nmol": NMOL, "tsteps": TSTEPS, "stripes": NMOL * MAX_THREADS}
+
+
+def _setup(memory: SharedMemory, nthreads: int, rng: random.Random) -> None:
+    memory.set_array("pos", [rng.randrange(-40, 40) for _ in range(NMOL)])
+    memory.set_array("vel", [rng.randrange(-4, 4) for _ in range(NMOL)])
+
+
+WATER_NSQUARED = KernelSpec(
+    name="water_nsquared",
+    source=SOURCE,
+    output_globals=("pos", "vel"),
+    setup_fn=_setup,
+    params={"nmol": NMOL, "tsteps": TSTEPS},
+    sdc_quantize_bits=6,
+    description="O(N^2) pairwise MD skeleton with striped force reduction",
+)

@@ -1,0 +1,114 @@
+"""Tests for the Table II lattice — including mechanical verification of
+the properties the paper's termination argument relies on."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.analysis import Category, TABLE_II, fold_operands, propagate, rank
+
+ALL = list(Category)
+categories = st.sampled_from(ALL)
+
+
+class TestTableII:
+    """Spot-check every distinctive entry of the paper's Table II."""
+
+    def test_na_row_and_column(self):
+        for c in ALL:
+            assert propagate(Category.NA, c) is c  # NA row copies operand
+            assert propagate(c, Category.NA) is Category.NA  # NA operand resets
+
+    def test_shared_row(self):
+        assert propagate(Category.SHARED, Category.SHARED) is Category.SHARED
+        assert propagate(Category.SHARED, Category.THREADID) is Category.THREADID
+        assert propagate(Category.SHARED, Category.PARTIAL) is Category.PARTIAL
+        assert propagate(Category.SHARED, Category.NONE) is Category.NONE
+
+    def test_threadid_row(self):
+        assert propagate(Category.THREADID, Category.SHARED) is Category.THREADID
+        assert propagate(Category.THREADID, Category.THREADID) is Category.THREADID
+        # tid + partial has no statable similarity:
+        assert propagate(Category.THREADID, Category.PARTIAL) is Category.NONE
+        assert propagate(Category.THREADID, Category.NONE) is Category.NONE
+
+    def test_partial_row(self):
+        assert propagate(Category.PARTIAL, Category.SHARED) is Category.PARTIAL
+        assert propagate(Category.PARTIAL, Category.THREADID) is Category.NONE
+        assert propagate(Category.PARTIAL, Category.PARTIAL) is Category.PARTIAL
+
+    def test_none_absorbs(self):
+        for c in ALL:
+            if c is Category.NA:
+                continue
+            assert propagate(Category.NONE, c) is Category.NONE
+
+    def test_table_is_total(self):
+        for row in ALL:
+            for col in ALL:
+                assert TABLE_II[row][col] in ALL
+
+
+class TestProperties:
+    """Property-based checks of the lattice algebra."""
+
+    @given(categories, categories)
+    def test_propagation_never_decreases_rank(self, current, operand):
+        """Monotonic flow is the paper's termination argument: once an
+        operand is classified, folding it in can only move the result up
+        (or keep it) in the information-loss order."""
+        if operand is Category.NA:
+            return  # NA operands abort the fold instead
+        result = propagate(current, operand)
+        assert rank(result) >= rank(current) or current is Category.NA
+
+    @given(categories, categories)
+    def test_none_is_absorbing(self, current, operand):
+        if operand is Category.NONE and current is not Category.NA:
+            assert propagate(current, operand) is Category.NONE
+
+    @given(st.lists(categories, min_size=1, max_size=6))
+    def test_fold_is_order_insensitive_about_none(self, operands):
+        """If any operand is NONE (and no NA aborts), the fold is NONE."""
+        result = fold_operands(operands)
+        if Category.NA in operands:
+            assert result is None
+        elif Category.NONE in operands:
+            assert result is Category.NONE
+
+    @given(st.lists(categories.filter(lambda c: c is not Category.NA),
+                    min_size=1, max_size=6))
+    def test_fold_permutation_invariant(self, operands):
+        """The fold must not depend on operand order — the paper applies
+        the same table for binary and ternary instructions by folding
+        operands one at a time."""
+        import itertools
+        baseline = fold_operands(operands)
+        for permuted in itertools.islice(itertools.permutations(operands), 12):
+            assert fold_operands(list(permuted)) is baseline
+
+    @given(st.lists(categories.filter(lambda c: c is not Category.NA),
+                    min_size=1, max_size=5))
+    def test_fold_idempotent_under_duplication(self, operands):
+        assert fold_operands(operands) is fold_operands(operands + operands)
+
+
+class TestFoldOperands:
+    def test_na_aborts(self):
+        assert fold_operands([Category.SHARED, Category.NA]) is None
+
+    def test_paper_figure1_examples(self):
+        # branch 1: procid (threadID) == 0 (shared)
+        assert fold_operands([Category.THREADID, Category.SHARED]) is Category.THREADID
+        # branch 2: i (shared) <= im-1 (shared)
+        assert fold_operands([Category.SHARED, Category.SHARED]) is Category.SHARED
+        # branch 3: gp[procid] (none) > im-1 (shared)
+        assert fold_operands([Category.NONE, Category.SHARED]) is Category.NONE
+        # branch 4: private (partial) > 0 (shared)
+        assert fold_operands([Category.PARTIAL, Category.SHARED]) is Category.PARTIAL
+
+    def test_checkable_predicate(self):
+        assert Category.SHARED.is_checkable
+        assert Category.THREADID.is_checkable
+        assert Category.PARTIAL.is_checkable
+        assert not Category.NONE.is_checkable
+        assert not Category.NA.is_checkable

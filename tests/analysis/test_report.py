@@ -1,0 +1,79 @@
+"""Tests for the census/report layer (Tables IV and V data)."""
+
+from repro.analysis import (
+    Category,
+    category_statistics,
+    count_branches,
+    format_table,
+    program_characteristics,
+    source_loc,
+)
+from repro.analysis.similarity import AnalysisConfig, analyze_module
+from repro.frontend import compile_source
+
+SOURCE = """
+global int n = 4;   // a comment
+/* block
+   comment */
+global int data[8];
+
+func helper() : int {
+  if (n > 2) { return 1; }
+  return 0;
+}
+
+func slave() {
+  local int x = helper();
+  if (x > 0) { output(x); }
+}
+
+func host_only() {
+  if (n > 1) { output(n); }
+}
+"""
+
+
+class TestSourceLoc:
+    def test_counts_code_lines_only(self):
+        assert source_loc("a = 1;\n\n// comment\nb = 2;") == 2
+
+    def test_block_comments_excluded(self):
+        assert source_loc("x;\n/* a\nb\nc */\ny;") == 2
+
+    def test_code_after_block_comment_end(self):
+        assert source_loc("/* c */ x = 1;") == 1
+
+
+class TestCensus:
+    def test_branch_counts(self):
+        module = compile_source(SOURCE)
+        assert count_branches(module) == 3
+        assert count_branches(module, {"slave", "helper"}) == 2
+
+    def test_program_characteristics(self):
+        module = compile_source(SOURCE)
+        ch = program_characteristics("demo", SOURCE, module, "slave")
+        assert ch.total_branches == 3
+        assert ch.parallel_branches == 2
+        assert ch.total_loc > ch.parallel_loc > 0
+
+    def test_category_statistics(self):
+        module = compile_source(SOURCE)
+        result = analyze_module(module, AnalysisConfig())
+        stats = category_statistics("demo", result)
+        assert stats.total == 2
+        assert stats.count(Category.SHARED) == 1   # helper's branch
+        assert stats.count(Category.PARTIAL) == 1  # x > 0 via return join
+        assert stats.similar_fraction == 1.0
+        assert stats.percent(Category.SHARED) == 50.0
+
+
+class TestFormatTable:
+    def test_alignment_and_title(self):
+        text = format_table(["name", "value"],
+                            [["a", 1], ["longer", 22]], title="T")
+        lines = text.splitlines()
+        assert lines[0] == "T"
+        assert "name" in lines[1] and "value" in lines[1]
+        assert set(lines[2]) <= {"-", " "}
+        assert len(lines) == 5

@@ -1,0 +1,149 @@
+"""Tests for the affine-in-tid coefficient inference (the `uniform`
+refinement machinery), including the symbolic-coefficient algebra."""
+
+from repro.analysis import (
+    AnalysisConfig,
+    CHECK_PARTIAL,
+    CHECK_TID_EQ,
+    CHECK_TID_MONOTONE,
+    CHECK_UNIFORM,
+    analyze_module,
+)
+from repro.analysis.similarity import _slope_add, _slope_mul_shared, _slope_neg
+from repro.frontend import compile_source
+from repro.ir import Constant
+
+PRELUDE = """
+global int nprocs;
+global int n = 64;
+global int out[64];
+"""
+
+
+def classify(body: str):
+    module = compile_source(PRELUDE + "\nfunc slave() { %s }" % body)
+    result = analyze_module(module, AnalysisConfig())
+    return {rec.branch.parent.name: rec
+            for rec in result.per_function["slave"].branches}
+
+
+class TestSlopeAlgebra:
+    def test_numeric_arithmetic(self):
+        assert _slope_add(1, 2) == 3
+        assert _slope_neg(5) == -5
+        assert _slope_add(None, 1) is None
+
+    @staticmethod
+    def _shared_value():
+        """A non-constant shared SSA value (e.g. a load result)."""
+        from repro.ir import Argument, INT
+        return Argument("s", INT, 0)
+
+    def test_symbolic_equality_is_structural(self):
+        shared_value = self._shared_value()
+        a = _slope_mul_shared(1, shared_value)
+        b = _slope_mul_shared(1, shared_value)
+        assert a == b
+        other = _slope_mul_shared(1, self._shared_value())
+        assert a != other  # different SSA identity -> conservative
+
+    def test_addition_identity_and_symbolic(self):
+        x = _slope_mul_shared(1, self._shared_value())
+        assert _slope_add(x, 0) == x
+        assert _slope_add(0, x) == x
+        assert _slope_add(x, 2) == _slope_add(x, 2)
+
+    def test_double_negation_collapses(self):
+        x = _slope_mul_shared(1, self._shared_value())
+        assert _slope_neg(_slope_neg(x)) == x
+
+    def test_zero_annihilates_multiplication(self):
+        assert _slope_mul_shared(0, self._shared_value()) == 0
+
+    def test_constant_factor_stays_numeric(self):
+        assert _slope_mul_shared(2, Constant(3)) == 6
+        assert _slope_mul_shared(2, Constant(-1)) == -2
+
+
+class TestUniformDetection:
+    def test_constant_partition(self):
+        records = classify("""
+          local int t = tid();
+          local int first = t * 8;
+          local int i;
+          for (i = first; i < first + 8; i = i + 1) { out[i %% 64] = i; }
+        """.replace("%%", "%"))
+        assert records["loop.header"].check_kind == CHECK_UNIFORM
+
+    def test_runtime_sized_partition(self):
+        """The radix pattern: per = n / nprocs is not a compile-time
+        constant, so the coefficient is symbolic — equality still holds."""
+        records = classify("""
+          local int t = tid();
+          local int per = n / nprocs;
+          local int first = t * per;
+          local int last = first + per;
+          local int i;
+          for (i = first; i < last; i = i + 1) { out[i %% 64] = i; }
+        """.replace("%%", "%"))
+        assert records["loop.header"].check_kind == CHECK_UNIFORM
+
+    def test_tid_cancellation_in_subtraction(self):
+        records = classify("""
+          local int t = tid();
+          if (t * 2 + 5 < t * 2 + n) { output(1); }
+        """)
+        assert records["entry"].check_kind == CHECK_UNIFORM
+
+    def test_different_coefficients_not_uniform(self):
+        records = classify("""
+          local int t = tid();
+          if (t * 2 < t + n) { output(1); }
+        """)
+        assert records["entry"].check_kind == CHECK_TID_MONOTONE
+
+    def test_separate_loads_break_symbolic_equality(self):
+        """Reloading nprocs yields a different SSA value: conservatively
+        not uniform (falls back to the still-sound monotone check)."""
+        records = classify("""
+          local int t = tid();
+          local int a = t * (n / nprocs);
+          local int b = t * (n / nprocs);
+          if (a < b + 1) { output(1); }
+        """)
+        assert records["entry"].check_kind in (CHECK_TID_MONOTONE,
+                                               CHECK_PARTIAL)
+
+    def test_modulo_kills_the_affine_proof(self):
+        records = classify("""
+          local int t = tid();
+          if (t %% 4 < t %% 4 + 1) { output(1); }
+        """.replace("%%", "%"))
+        assert records["entry"].check_kind != CHECK_UNIFORM
+
+
+class TestEqInjectivity:
+    def test_slope_difference_drives_tid_eq(self):
+        records = classify(
+            "local int t = tid(); if (t * 2 == t + n) { output(1); }")
+        # lhs slope 2, rhs slope 1: difference 1 != 0 -> injective
+        assert records["entry"].check_kind == CHECK_TID_EQ
+
+    def test_equal_slopes_eq_is_uniform(self):
+        records = classify(
+            "local int t = tid(); if (t + 1 == t + n) { output(1); }")
+        assert records["entry"].check_kind == CHECK_UNIFORM
+
+    def test_symbolic_slope_eq_not_provably_injective(self):
+        records = classify("""
+          local int t = tid();
+          local int per = n / nprocs;
+          if (t * per == n) { output(1); }
+        """)
+        # per could be 0 at runtime for all the analysis knows
+        assert records["entry"].check_kind == CHECK_PARTIAL
+
+    def test_negated_tid_still_injective(self):
+        records = classify(
+            "local int t = tid(); if (0 - t == n) { output(1); }")
+        assert records["entry"].check_kind == CHECK_TID_EQ

@@ -1,0 +1,122 @@
+"""Tests for the experiment harnesses (smoke-level where expensive).
+
+The expensive figures (6-9) are exercised with reduced parameters — the
+full-size regeneration lives in benchmarks/.
+"""
+
+import pytest
+
+from repro.experiments import (
+    duplication,
+    false_positives,
+    fig6,
+    fig7,
+    fig8,
+    table3,
+    table4,
+    table5,
+)
+from repro.experiments.coverage import compute_coverage
+from repro.experiments.runner import EXPERIMENTS, main as runner_main
+from repro.faults import FaultType
+
+
+class TestTable3:
+    def test_matches_paper(self):
+        result = table3.compute()
+        assert result.matches_paper
+        assert result.iterations < 10
+        assert "MATCH" in table3.render(result)
+
+
+class TestTable4:
+    def test_rows_and_render(self):
+        rows = table4.compute()
+        assert len(rows) == 7
+        for row in rows:
+            assert row.ours.parallel_branches <= row.ours.total_branches
+            assert row.ours.parallel_loc <= row.ours.total_loc
+        text = table4.render(rows)
+        assert "raytrace" in text and "paper" in text
+
+
+class TestTable5:
+    def test_census_shape(self):
+        rows = table5.compute()
+        assert len(rows) == 7
+        by_name = {row.ours.name: row.ours for row in rows}
+        # headline claim: similar fraction spans roughly half to nearly all
+        fractions = [s.similar_fraction for s in by_name.values()]
+        assert min(fractions) < 0.75 < max(fractions)
+        text = table5.render(rows)
+        assert "similar" in text
+
+
+class TestFig6And7:
+    def test_fig6_small(self):
+        result = fig6.compute(thread_counts=(2, 8))
+        assert set(result.overheads) == set(
+            name for name in result.overheads)
+        assert len(result.overheads) == 7
+        for values in result.overheads.values():
+            assert all(v > 1.0 for v in values)
+        assert "Figure 6" in fig6.render(result)
+
+    def test_fig7_shape(self):
+        result = fig7.compute(thread_counts=(1, 2, 8, 32))
+        assert result.has_numa_bump
+        assert result.geomean[-1] < result.geomean[1]
+        assert result.geomean[-1] < 1.5  # near the paper's 1.16
+        assert "Figure 7" in fig7.render(result)
+
+
+class TestCoverage:
+    def test_single_cell(self):
+        result = compute_coverage(FaultType.BRANCH_FLIP,
+                                  thread_counts=(4,), injections=8, seed=3)
+        assert len(result.stats) == 7
+        for stats in result.stats.values():
+            assert stats.injections == 8
+        average = result.average("coverage_protected", 4)
+        assert 0.0 <= average <= 1.0
+        text = fig8.render(result)
+        assert "Figure 8" in text
+
+
+class TestFalsePositives:
+    def test_small_trial_is_clean(self):
+        result = false_positives.compute(runs=3, nthreads=4)
+        assert result.total == 0
+        assert "TOTAL" in false_positives.render(result)
+
+
+class TestDuplication:
+    def test_model_shapes(self):
+        # pure model check, no simulation needed
+        small = duplication.modeled_duplication_overhead(
+            10_000.0, locks=4, barriers=3, nthreads=4)
+        large = duplication.modeled_duplication_overhead(
+            10_000.0, locks=4, barriers=3, nthreads=32)
+        assert large > small          # duplication does not scale
+        assert small > 1.0
+
+    def test_compare_at_two_counts(self):
+        result = duplication.compute(thread_counts=(4,))
+        bw_avg, dup_avg = result.averages(0)
+        assert bw_avg > 1.0 and dup_avg > 1.0
+        assert "duplication" in duplication.render(result)
+
+
+class TestRunner:
+    def test_list(self, capsys):
+        assert runner_main(["list"]) == 0
+        out = capsys.readouterr().out
+        for name in EXPERIMENTS:
+            assert name in out
+
+    def test_unknown_rejected(self, capsys):
+        assert runner_main(["nope"]) == 2
+
+    def test_runs_cheap_experiment(self, capsys):
+        assert runner_main(["table3"]) == 0
+        assert "Table III" in capsys.readouterr().out

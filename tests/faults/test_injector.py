@@ -1,0 +1,111 @@
+"""Tests for the fault models and the injecting hook."""
+
+import random
+
+import pytest
+
+from repro.faults import FaultSpec, FaultType, InjectingHook, plan_fault
+from repro.runtime import ParallelProgram
+from tests.conftest import FIGURE_1, figure1_setup
+
+
+@pytest.fixture(scope="module")
+def program():
+    return ParallelProgram(FIGURE_1, "fig1")
+
+
+class TestPlanning:
+    def test_plan_respects_counts(self):
+        rng = random.Random(0)
+        counts = {0: 10, 1: 5, 2: 0}
+        for _ in range(50):
+            spec = plan_fault(FaultType.BRANCH_FLIP, counts, rng)
+            assert spec.thread_id in (0, 1)
+            assert 1 <= spec.branch_index <= counts[spec.thread_id]
+
+    def test_plan_with_no_branches(self):
+        rng = random.Random(0)
+        assert plan_fault(FaultType.BRANCH_FLIP, {0: 0}, rng) is None
+
+    def test_describe(self):
+        spec = FaultSpec(FaultType.BRANCH_CONDITION, 2, 17)
+        assert "thread 2" in spec.describe()
+        assert "17" in spec.describe()
+
+
+class TestBranchFlip:
+    def test_activation_at_exact_site(self, program):
+        hook = InjectingHook(FaultSpec(FaultType.BRANCH_FLIP, 1, 3))
+        result = program.run_protected(4, setup=figure1_setup(4),
+                                       fault_hook=hook)
+        assert hook.activated
+        assert hook.flipped_branch
+        assert result is not None
+
+    def test_not_activated_beyond_execution(self, program):
+        hook = InjectingHook(FaultSpec(FaultType.BRANCH_FLIP, 1, 10 ** 9))
+        program.run_protected(4, setup=figure1_setup(4), fault_hook=hook)
+        assert not hook.activated
+
+    def test_fires_exactly_once(self, program):
+        hook = InjectingHook(FaultSpec(FaultType.BRANCH_FLIP, 0, 2))
+        golden = program.run_protected(4, setup=figure1_setup(4))
+        faulty = program.run_protected(4, setup=figure1_setup(4),
+                                       fault_hook=hook)
+        # same dynamic branch population outside the single perturbation
+        assert abs(sum(faulty.branch_counts.values())
+                   - sum(golden.branch_counts.values())) <= golden.steps
+
+
+class TestConditionFault:
+    def test_corruption_persists_in_register(self, program):
+        """The corrupted operand must influence execution after the
+        branch — we detect this via divergence from the flip-only run."""
+        spec = FaultSpec(FaultType.BRANCH_CONDITION, 2, 4, bit=62, rng_seed=5)
+        hook = InjectingHook(spec)
+        result = program.run_protected(4, setup=figure1_setup(4),
+                                       fault_hook=hook)
+        assert hook.activated
+        assert "bit 62" in hook.detail or "boolean" in hook.detail
+        assert result is not None
+
+    def test_low_bit_may_not_flip_branch(self, program):
+        """Paper: 'a fault ... that flips the least significant bit of the
+        condition variable may not affect the comparison'."""
+        flipped = []
+        for seed in range(16):
+            hook = InjectingHook(FaultSpec(
+                FaultType.BRANCH_CONDITION, 0, 2, bit=0, rng_seed=seed))
+            program.run_protected(4, setup=figure1_setup(4), fault_hook=hook)
+            if hook.activated:
+                flipped.append(hook.flipped_branch)
+        assert flipped and not all(flipped)
+
+    def test_high_bit_usually_flips_compare(self, program):
+        hook = InjectingHook(FaultSpec(
+            FaultType.BRANCH_CONDITION, 0, 2, bit=63, rng_seed=1))
+        program.run_protected(4, setup=figure1_setup(4), fault_hook=hook)
+        assert hook.activated
+
+
+class TestDetectionEndToEnd:
+    def test_tid_branch_flip_detected(self, program):
+        """Flipping `procid == 0` on a second thread makes two takers —
+        the paper's Section II-D example."""
+        detections = 0
+        for thread in range(4):
+            # branch 1 is the first dynamic branch of each thread
+            hook = InjectingHook(FaultSpec(FaultType.BRANCH_FLIP, thread, 1))
+            result = program.run_protected(4, setup=figure1_setup(4),
+                                           fault_hook=hook)
+            if result.detected:
+                detections += 1
+        assert detections >= 3  # non-taker flips give two takers
+
+    def test_shared_loop_flip_detected(self, program):
+        # inject into the shared loop region (branches 2..25 are loop
+        # iterations); a flip ends/extends exactly one thread's loop
+        hook = InjectingHook(FaultSpec(FaultType.BRANCH_FLIP, 2, 10))
+        result = program.run_protected(4, setup=figure1_setup(4),
+                                       fault_hook=hook)
+        assert result.detected

@@ -1,0 +1,32 @@
+"""Tests for outcome accounting helpers not covered by the campaign tests."""
+
+from repro.faults import CampaignStats, Outcome
+
+
+class TestRates:
+    def test_rate_computation(self):
+        stats = CampaignStats()
+        stats.note(Outcome.DETECTED, Outcome.SDC)
+        stats.note(Outcome.DETECTED, Outcome.SDC)
+        stats.note(Outcome.MASKED, Outcome.MASKED)
+        stats.note(Outcome.CRASH, Outcome.CRASH)
+        assert stats.rate(Outcome.DETECTED) == 0.5
+        assert stats.rate(Outcome.CRASH) == 0.25
+        assert stats.rate(Outcome.HANG) == 0.0
+
+    def test_rate_with_no_activations(self):
+        stats = CampaignStats()
+        assert stats.rate(Outcome.SDC) == 0.0
+
+    def test_baseline_counts_tracked_separately(self):
+        stats = CampaignStats()
+        stats.note(Outcome.DETECTED, Outcome.SDC)
+        assert stats.counts[Outcome.DETECTED] == 1
+        assert stats.baseline_counts[Outcome.SDC] == 1
+        assert Outcome.SDC not in stats.counts
+
+    def test_outcome_values_are_stable(self):
+        """Outcome strings appear in saved results; freeze them."""
+        assert Outcome.SDC.value == "sdc"
+        assert Outcome.DETECTED.value == "detected"
+        assert Outcome.NOT_ACTIVATED.value == "not_activated"

@@ -1,0 +1,76 @@
+"""Tests for the MiniC tokenizer."""
+
+import pytest
+
+from repro.errors import LexError
+from repro.frontend import tokenize
+
+
+def kinds_values(source):
+    return [(t.kind, t.value) for t in tokenize(source) if t.kind != "eof"]
+
+
+class TestBasics:
+    def test_empty_input(self):
+        tokens = tokenize("")
+        assert len(tokens) == 1 and tokens[0].kind == "eof"
+
+    def test_keywords_vs_names(self):
+        result = kinds_values("global int foo")
+        assert result == [("keyword", "global"), ("keyword", "int"),
+                          ("name", "foo")]
+
+    def test_underscore_names(self):
+        assert kinds_values("_x x_1")[0] == ("name", "_x")
+
+    def test_integers(self):
+        assert kinds_values("42")[0] == ("int", 42)
+        assert kinds_values("0")[0] == ("int", 0)
+
+    def test_floats(self):
+        assert kinds_values("3.5")[0] == ("float", 3.5)
+        assert kinds_values("1e3")[0] == ("float", 1000.0)
+        assert kinds_values("2.5e-1")[0] == ("float", 0.25)
+        assert kinds_values(".5")[0] == ("float", 0.5)
+
+    def test_malformed_exponent(self):
+        with pytest.raises(LexError):
+            tokenize("1e+")
+
+    def test_unexpected_character(self):
+        with pytest.raises(LexError):
+            tokenize("a $ b")
+
+
+class TestOperators:
+    def test_maximal_munch(self):
+        ops = [v for k, v in kinds_values("a<=b==c&&d<<e") if k == "op"]
+        assert ops == ["<=", "==", "&&", "<<"]
+
+    def test_all_singles(self):
+        source = "+ - * / % < > = ! & | ^ ( ) { } [ ] , ; :"
+        ops = [v for k, v in kinds_values(source)]
+        assert ops == source.split()
+
+
+class TestComments:
+    def test_line_comment(self):
+        assert kinds_values("a // comment\nb") == [("name", "a"), ("name", "b")]
+
+    def test_block_comment(self):
+        assert kinds_values("a /* x\ny */ b") == [("name", "a"), ("name", "b")]
+
+    def test_unterminated_block_comment(self):
+        with pytest.raises(LexError):
+            tokenize("/* never closed")
+
+
+class TestPositions:
+    def test_line_numbers(self):
+        tokens = tokenize("a\nb\n  c")
+        assert [t.line for t in tokens[:3]] == [1, 2, 3]
+        assert tokens[2].column == 3
+
+    def test_lines_across_block_comment(self):
+        tokens = tokenize("/* one\ntwo */ x")
+        assert tokens[0].line == 2

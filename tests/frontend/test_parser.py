@@ -1,0 +1,185 @@
+"""Tests for the MiniC parser."""
+
+import pytest
+
+from repro.errors import ParseError
+from repro.frontend import parse
+from repro.frontend import ast_nodes as ast
+
+
+def parse_body(stmts: str):
+    program = parse("func f() { %s }" % stmts)
+    return program.functions[0].body
+
+
+def parse_expr(expr: str):
+    body = parse_body("x = %s ;" % expr)
+    return body[0].value
+
+
+class TestGlobals:
+    def test_scalar_with_init(self):
+        g = parse("global int n = 42;").globals[0]
+        assert (g.type_name, g.name, g.init) == ("int", "n", 42)
+
+    def test_negative_init(self):
+        assert parse("global int n = -3;").globals[0].init == -3
+
+    def test_float_global(self):
+        g = parse("global float pi = 3.5;").globals[0]
+        assert g.init == 3.5
+
+    def test_array(self):
+        g = parse("global int a[64];").globals[0]
+        assert g.array_length == 64
+
+    def test_sync_objects(self):
+        program = parse("global lock l; global barrier b;")
+        assert program.globals[0].type_name == "lock"
+        assert program.globals[1].type_name == "barrier"
+
+
+class TestFunctions:
+    def test_params_and_return(self):
+        f = parse("func f(int a, float b) : int { return 1; }").functions[0]
+        assert [(p.type_name, p.name) for p in f.params] == [
+            ("int", "a"), ("float", "b")]
+        assert f.return_type == "int"
+
+    def test_void_function(self):
+        f = parse("func f() { }").functions[0]
+        assert f.return_type is None
+
+    def test_line_span(self):
+        f = parse("func f() {\n  output(1);\n}").functions[0]
+        assert f.line == 1 and f.end_line == 3
+
+
+class TestStatements:
+    def test_local_decl(self):
+        stmt = parse_body("local int x = 5;")[0]
+        assert isinstance(stmt, ast.LocalDecl)
+        assert stmt.name == "x"
+
+    def test_assignment_forms(self):
+        scalar, array = parse_body("x = 1; a[2] = 3;")
+        assert isinstance(scalar, ast.Assign) and scalar.index is None
+        assert isinstance(array, ast.Assign) and array.index is not None
+
+    def test_if_else_chain(self):
+        stmt = parse_body(
+            "if (x > 0) { y = 1; } else if (x < 0) { y = 2; } else { y = 3; }")[0]
+        assert isinstance(stmt, ast.If)
+        assert isinstance(stmt.else_body[0], ast.If)
+        assert stmt.else_body[0].else_body
+
+    def test_while(self):
+        stmt = parse_body("while (x < 10) { x = x + 1; }")[0]
+        assert isinstance(stmt, ast.While)
+
+    def test_for_full(self):
+        stmt = parse_body("for (i = 0; i < 10; i = i + 1) { }")[0]
+        assert isinstance(stmt, ast.For)
+        assert stmt.init is not None and stmt.update is not None
+
+    def test_for_with_local_init(self):
+        stmt = parse_body("for (local int i = 0; i < 10; i = i + 1) { }")[0]
+        assert isinstance(stmt.init, ast.LocalDecl)
+
+    def test_for_empty_clauses(self):
+        stmt = parse_body("for (;;) { break; }")[0]
+        assert stmt.init is None and stmt.cond is None and stmt.update is None
+
+    def test_break_continue_return(self):
+        body = parse_body(
+            "while (true) { break; continue; } return 1;")
+        assert isinstance(body[0].body[0], ast.Break)
+        assert isinstance(body[0].body[1], ast.Continue)
+        assert isinstance(body[1], ast.Return)
+
+    def test_sync_statements(self):
+        body = parse_body("lock(l); unlock(l); barrier(b);")
+        assert isinstance(body[0], ast.LockStmt)
+        assert isinstance(body[1], ast.UnlockStmt)
+        assert isinstance(body[2], ast.BarrierStmt)
+
+    def test_output(self):
+        stmt = parse_body("output(42);")[0]
+        assert isinstance(stmt, ast.OutputStmt)
+
+    def test_bare_block(self):
+        stmt = parse_body("{ x = 1; }")[0]
+        assert isinstance(stmt, ast.BlockStmt)
+        assert isinstance(stmt.body[0], ast.Assign)
+
+    def test_call_statement(self):
+        stmt = parse_body("foo(1, 2);")[0]
+        assert isinstance(stmt, ast.ExprStmt)
+        assert isinstance(stmt.expr, ast.CallExpr)
+
+
+class TestExpressions:
+    def test_precedence_mul_over_add(self):
+        expr = parse_expr("1 + 2 * 3")
+        assert expr.op == "+"
+        assert expr.rhs.op == "*"
+
+    def test_precedence_cmp_over_and(self):
+        expr = parse_expr("a < b && c > d")
+        assert expr.op == "&&"
+        assert expr.lhs.op == "<"
+
+    def test_parentheses(self):
+        expr = parse_expr("(1 + 2) * 3")
+        assert expr.op == "*"
+        assert expr.lhs.op == "+"
+
+    def test_unary(self):
+        expr = parse_expr("-x")
+        assert isinstance(expr, ast.UnaryExpr) and expr.op == "-"
+        expr = parse_expr("!flag")
+        assert expr.op == "!"
+
+    def test_builtins(self):
+        assert parse_expr("tid()").name == "tid"
+        assert parse_expr("min(a, b)").name == "min"
+        assert parse_expr("float(x)").name == "float"
+
+    def test_funcref_and_callptr(self):
+        expr = parse_expr("&foo")
+        assert isinstance(expr, ast.FuncRefExpr) and expr.name == "foo"
+        expr = parse_expr("callptr(fp, 1, 2)")
+        assert isinstance(expr, ast.CallPtrExpr)
+        assert len(expr.args) == 2
+
+    def test_index_expression(self):
+        expr = parse_expr("a[i + 1]")
+        assert isinstance(expr, ast.IndexExpr)
+
+    def test_shift_precedence(self):
+        expr = parse_expr("1 << 2 + 3")
+        assert expr.op == "<<"
+        assert expr.rhs.op == "+"
+
+
+class TestErrors:
+    def test_missing_semicolon(self):
+        with pytest.raises(ParseError):
+            parse("func f() { x = 1 }")
+
+    def test_unterminated_block(self):
+        with pytest.raises(ParseError, match="unterminated"):
+            parse("func f() { x = 1;")
+
+    def test_garbage_toplevel(self):
+        with pytest.raises(ParseError, match="global"):
+            parse("int x;")
+
+    def test_bad_expression(self):
+        with pytest.raises(ParseError):
+            parse("func f() { x = ; }")
+
+    def test_error_carries_line(self):
+        with pytest.raises(ParseError) as info:
+            parse("func f() {\n  x = ;\n}")
+        assert info.value.line == 2

@@ -1,0 +1,121 @@
+"""Tests for the instrumentation pass."""
+
+import pytest
+
+from repro.analysis import AnalysisConfig, analyze_module
+from repro.errors import InstrumentationError
+from repro.frontend import compile_source
+from repro.instrument import instrument_module
+from repro.ir import (
+    Branch,
+    Call,
+    EnterLoop,
+    LoopTick,
+    SendBranchCondition,
+    verify_module,
+)
+
+SOURCE = """
+global int n = 8;
+global int data[16];
+global barrier b;
+
+func helper(int k) : int {
+  if (k > 2) { return 1; }
+  return 0;
+}
+
+func slave() {
+  local int t = tid();
+  local int i;
+  for (i = 0; i < n; i = i + 1) {
+    if (i + t > 3) { data[t] = i; }
+    data[t] = data[t] + helper(i);
+  }
+  barrier(b);
+}
+"""
+
+
+def instrumented():
+    module = compile_source(SOURCE)
+    analysis = analyze_module(module, AnalysisConfig())
+    metadata = instrument_module(module, analysis)
+    return module, analysis, metadata
+
+
+class TestInstrumentation:
+    def test_module_still_verifies(self):
+        module, _, _ = instrumented()
+        verify_module(module)
+
+    def test_every_checked_branch_gets_send_and_tag(self):
+        module, analysis, metadata = instrumented()
+        checked = analysis.checked_branches()
+        assert len(metadata.branches) == len(checked)
+        for record in checked:
+            branch = record.branch
+            assert branch.bw_info is not None
+            block = branch.parent
+            send = block.instructions[-2]
+            assert isinstance(send, SendBranchCondition)
+            assert send.info is branch.bw_info
+            assert send.static_id == branch.bw_info.static_id
+
+    def test_unchecked_branches_untouched(self):
+        module, analysis, _ = instrumented()
+        for record in analysis.all_branches():
+            if record.check_kind is None:
+                assert record.branch.bw_info is None
+
+    def test_static_ids_dense_and_unique(self):
+        _, _, metadata = instrumented()
+        ids = sorted(metadata.branches)
+        assert ids == list(range(len(ids)))
+
+    def test_loops_with_checked_branches_get_counters(self):
+        module, analysis, metadata = instrumented()
+        slave = module.function_named("slave")
+        preheader = slave.block_named("loop.preheader")
+        header = slave.block_named("loop.header")
+        enters = [i for i in preheader.instructions if isinstance(i, EnterLoop)]
+        ticks = [i for i in header.instructions if isinstance(i, LoopTick)]
+        assert len(enters) == 1 and len(ticks) == 1
+        assert enters[0].loop_id == ticks[0].loop_id
+        assert metadata.instrumented_loops >= 1
+
+    def test_enclosing_loop_ids_recorded(self):
+        module, _, metadata = instrumented()
+        slave = module.function_named("slave")
+        inner_if = slave.block_named("loop.body").terminator
+        assert isinstance(inner_if, Branch)
+        assert len(inner_if.bw_info.enclosing_loop_ids) == 1
+
+    def test_callsite_ids_assigned(self):
+        module, _, metadata = instrumented()
+        calls = [i for f in module.function_table
+                 for i in f.instructions() if isinstance(i, Call)]
+        ids = [c.callsite_id for c in calls]
+        assert all(i >= 0 for i in ids)
+        assert len(set(ids)) == len(ids)
+        assert metadata.call_sites == len(ids)
+
+    def test_double_instrumentation_rejected(self):
+        module = compile_source(SOURCE)
+        analysis = analyze_module(module, AnalysisConfig())
+        instrument_module(module, analysis)
+        with pytest.raises(InstrumentationError, match="already"):
+            instrument_module(module, analysis)
+
+    def test_foreign_analysis_rejected(self):
+        module_a = compile_source(SOURCE)
+        module_b = compile_source(SOURCE)
+        analysis_a = analyze_module(module_a, AnalysisConfig())
+        with pytest.raises(InstrumentationError, match="another module"):
+            instrument_module(module_b, analysis_a)
+
+    def test_metadata_lookup(self):
+        _, _, metadata = instrumented()
+        info = metadata.info(0)
+        assert info is not None and info.static_id == 0
+        assert metadata.info(10_000) is None

@@ -1,0 +1,91 @@
+"""Tests for the ``repro-minic`` command-line tool."""
+
+import pytest
+
+from repro.cli import main
+
+DEMO = """
+global int nprocs;
+global int n = 8;
+global int out[32];
+global barrier b;
+
+func slave() {
+  local int t = tid();
+  local int i;
+  for (i = 0; i < n; i = i + 1) {
+    out[t] = out[t] + i;
+  }
+  if (t == 0) { output(out[0]); }
+  barrier(b);
+}
+"""
+
+
+@pytest.fixture
+def demo_file(tmp_path):
+    path = tmp_path / "demo.mc"
+    path.write_text(DEMO)
+    return str(path)
+
+
+class TestDumpAndReport:
+    def test_dump_prints_ir(self, demo_file, capsys):
+        assert main(["dump", demo_file]) == 0
+        out = capsys.readouterr().out
+        assert "func slave()" in out and "gettid" in out
+
+    def test_report_prints_classification(self, demo_file, capsys):
+        assert main(["report", demo_file]) == 0
+        out = capsys.readouterr().out
+        assert "tid_eq" in out and "shared" in out
+
+
+class TestRun:
+    def test_run_protected(self, demo_file, capsys):
+        code = main(["run", demo_file, "-t", "4", "--show", "out"])
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "status: ok" in out
+        assert "thread 0 output: [28]" in out
+        assert "out = [28, 28, 28, 28" in out
+
+    def test_run_baseline(self, demo_file, capsys):
+        assert main(["run", demo_file, "-t", "2", "--baseline"]) == 0
+        assert "status: ok" in capsys.readouterr().out
+
+    def test_set_overrides_scalar(self, demo_file, capsys):
+        main(["run", demo_file, "-t", "1", "--set", "n=3", "--show", "out"])
+        out = capsys.readouterr().out
+        assert "thread 0 output: [3]" in out  # 0+1+2
+
+    def test_fill_overrides_array(self, demo_file, capsys):
+        main(["run", demo_file, "-t", "1", "--set", "n=1",
+              "--fill", "out=100", "--show", "out"])
+        out = capsys.readouterr().out
+        assert "thread 0 output: [100]" in out
+
+    def test_crashing_program_reports_nonzero(self, tmp_path, capsys):
+        path = tmp_path / "crash.mc"
+        path.write_text("global int a[4];\nfunc slave() { a[9] = 1; }\n")
+        assert main(["run", str(path), "-t", "1"]) == 1
+        out = capsys.readouterr().out
+        assert "status: crash" in out
+
+    def test_bad_set_syntax_rejected(self, demo_file):
+        with pytest.raises(SystemExit):
+            main(["run", demo_file, "--set", "oops"])
+
+
+class TestInject:
+    def test_campaign_summary(self, demo_file, capsys):
+        assert main(["inject", demo_file, "-t", "4", "-n", "10",
+                     "--outputs", "out"]) == 0
+        out = capsys.readouterr().out
+        assert "cov(BW)" in out
+        assert "branch-flip" in out
+
+    def test_condition_fault_choice(self, demo_file, capsys):
+        assert main(["inject", demo_file, "-t", "2", "-n", "5",
+                     "--fault", "condition", "--outputs", "out"]) == 0
+        assert "branch-condition" in capsys.readouterr().out

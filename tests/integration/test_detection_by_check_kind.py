@@ -1,0 +1,165 @@
+"""Targeted detection tests: for each check kind, construct a program
+where that check is the one protecting the branch, inject the precise
+fault it should catch, and assert the detection carries the right rule.
+"""
+
+import pytest
+
+from repro.faults import FaultSpec, FaultType, InjectingHook
+from repro.runtime import ParallelProgram
+
+PRELUDE = """
+global int nprocs;
+global int n = 16;
+global int data[64];
+global int out[64];
+global barrier bar;
+"""
+
+
+def build(body: str) -> ParallelProgram:
+    return ParallelProgram(PRELUDE + "func slave() { %s }" % body)
+
+
+def setup(nthreads):
+    def apply(memory):
+        memory.set_scalar("nprocs", nthreads)
+        memory.set_array("data", list(range(64)))
+    return apply
+
+
+def inject_flip(program, nthreads, thread, index):
+    hook = InjectingHook(FaultSpec(FaultType.BRANCH_FLIP, thread, index))
+    result = program.run_protected(nthreads, setup=setup(nthreads),
+                                   fault_hook=hook)
+    assert hook.activated
+    return result
+
+
+def check_kind_of(program, block_name):
+    for record in program.analysis.per_function["slave"].branches:
+        if record.branch.parent.name == block_name:
+            return record.check_kind
+    raise KeyError(block_name)
+
+
+class TestSharedCheck:
+    def test_flip_of_shared_branch_detected(self):
+        program = build("""
+          local int i;
+          for (i = 0; i < n; i = i + 1) { out[tid()] = i; }
+        """)
+        assert check_kind_of(program, "loop.header") == "shared"
+        result = inject_flip(program, 4, thread=2, index=5)
+        assert result.detected
+        rules = {v.rule for v in result.violations}
+        assert rules & {"shared-outcome", "shared-values"}
+
+
+class TestUniformCheck:
+    def test_partitioned_loop_flip_detected(self):
+        program = build("""
+          local int t = tid();
+          local int per = n / nprocs;
+          local int i;
+          for (i = t * per; i < t * per + per; i = i + 1) {
+            out[i] = i;
+          }
+          barrier(bar);
+        """)
+        assert check_kind_of(program, "loop.header") == "uniform"
+        result = inject_flip(program, 4, thread=1, index=2)
+        assert result.detected
+        assert any(v.rule == "uniform" for v in result.violations)
+
+
+class TestTidEqCheck:
+    def test_second_taker_detected(self):
+        program = build("""
+          local int t = tid();
+          if (t == 0) { out[0] = 1; }
+          barrier(bar);
+        """)
+        assert check_kind_of(program, "entry") == "tid_eq"
+        # thread 3's only branch is the tid test; flipping makes it take
+        result = inject_flip(program, 4, thread=3, index=1)
+        assert result.detected
+        assert any(v.rule == "tid-eq" for v in result.violations)
+
+    def test_lost_taker_escapes(self):
+        """Flipping the true taker leaves zero takers — consistent with
+        'at most one', so undetected (a known coverage gap)."""
+        program = build("""
+          local int t = tid();
+          if (t == 0) { out[0] = 1; }
+          barrier(bar);
+        """)
+        result = inject_flip(program, 4, thread=0, index=1)
+        assert not any(v.rule == "tid-eq" for v in result.violations)
+
+
+class TestTidMonotoneCheck:
+    def test_hole_in_taker_block_detected(self):
+        program = build("""
+          local int t = tid();
+          if (t < nprocs / 2) { out[t] = 1; }
+          barrier(bar);
+        """)
+        assert check_kind_of(program, "entry") == "tid_monotone"
+        # thread 0 is a taker; flipping it punches a hole in the low block
+        result = inject_flip(program, 4, thread=0, index=1)
+        assert result.detected
+        assert any(v.rule == "tid-monotone" for v in result.violations)
+
+    def test_boundary_flip_escapes(self):
+        """Flipping the taker adjacent to the threshold just moves the
+        boundary — still monotone, hence undetected by design."""
+        program = build("""
+          local int t = tid();
+          if (t < nprocs / 2) { out[t] = 1; }
+          barrier(bar);
+        """)
+        result = inject_flip(program, 4, thread=1, index=1)
+        assert not any(v.rule == "tid-monotone" for v in result.violations)
+
+
+class TestPartialCheck:
+    def test_group_disagreement_detected(self):
+        program = build("""
+          local int mode;
+          if (n > 8) { mode = 1; } else { mode = 2; }
+          if (mode > 0) { out[tid()] = mode; }
+          barrier(bar);
+        """)
+        assert check_kind_of(program, "if.end") == "partial"
+        # dynamic branches per thread: 1 = seed branch, 2 = partial branch
+        result = inject_flip(program, 2, thread=1, index=2)
+        assert result.detected
+        assert any(v.rule == "partial" for v in result.violations)
+
+    def test_promoted_none_with_singleton_groups_escapes(self):
+        program = build("""
+          local int t = tid();
+          if (data[t] > 5) { out[t] = 1; }
+          barrier(bar);
+        """)
+        record = check_kind_of(program, "entry")
+        assert record == "partial"
+        # every thread reads a different data[t]: groups are singletons
+        result = inject_flip(program, 4, thread=2, index=1)
+        assert not result.detected
+
+
+class TestDetectionLatencyIndependence:
+    def test_detection_survives_crash_after_fault(self):
+        """Evidence already in the queues still produces a detection even
+        if the program later crashes (the monitor outlives the threads)."""
+        program = build("""
+          local int i;
+          for (i = 0; i < n; i = i + 1) { out[tid()] = i; }
+          out[i + 100] = 1;    // OOB after the loop -> guaranteed crash
+        """)
+        hook = InjectingHook(FaultSpec(FaultType.BRANCH_FLIP, 1, 3))
+        result = program.run_protected(4, setup=setup(4), fault_hook=hook)
+        assert result.status == "crash"
+        assert result.detected

@@ -1,0 +1,56 @@
+"""Smoke tests: every shipped example must run to completion.
+
+The examples are documentation that executes; breaking one is breaking
+the README's promises.
+"""
+
+import os
+import subprocess
+import sys
+
+import pytest
+
+EXAMPLES_DIR = os.path.join(os.path.dirname(__file__), "..", "..", "examples")
+
+
+def run_example(name: str, *args: str) -> str:
+    path = os.path.abspath(os.path.join(EXAMPLES_DIR, name))
+    result = subprocess.run(
+        [sys.executable, path, *args], capture_output=True, text=True,
+        timeout=600, check=False)
+    assert result.returncode == 0, result.stderr[-2000:]
+    return result.stdout
+
+
+def test_quickstart():
+    out = run_example("quickstart.py")
+    assert "BLOCKWATCH caught the fault" in out
+
+
+def test_static_analysis_tour():
+    out = run_example("static_analysis_tour.py")
+    assert "threadID" in out and "partial" in out
+    assert "tid-counter globals recognized: ['id']" in out
+
+
+def test_fault_injection_campaign():
+    out = run_example("fault_injection_campaign.py", "15")
+    assert "cov(BLOCKWATCH)" in out
+
+
+def test_custom_kernel():
+    out = run_example("custom_kernel.py")
+    assert "histogram:" in out
+    assert "coverage" in out
+
+
+@pytest.mark.slow
+def test_scalability_study():
+    out = run_example("scalability_study.py", "radix")
+    assert "overhead" in out
+
+
+def test_store_value_checking():
+    out = run_example("store_value_checking.py")
+    assert "silent data corruption" in out
+    assert "caught at the store" in out

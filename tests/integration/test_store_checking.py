@@ -1,0 +1,83 @@
+"""Tests for the check_stores extension (the paper's closing future-work
+item: checking similarity of regular data, not just control data).
+
+The payoff case: a condition fault corrupts a register that holds a
+*shared* value; the corrupted register survives the branch (condition
+faults persist) and flows into a store — the store-value check catches
+what no control-flow check can.
+"""
+
+import pytest
+
+from repro.analysis import AnalysisConfig
+from repro.faults import FaultSpec, FaultType, InjectingHook
+from repro.faults import run_false_positive_trial
+from repro.runtime import ParallelProgram
+
+SOURCE = """
+global int nprocs;
+global int n = 8;
+global int flags[64];
+global barrier bar;
+
+func slave() {
+  local int t = tid();
+  local int mark = n * 3 + 1;      // shared value held in a register
+  if (mark > 1000) {                // a branch whose condition is `mark`
+    flags[63] = 0;                  // (never taken; mark stays shared)
+  }
+  local int i;
+  for (i = 0; i < 4; i = i + 1) {
+    flags[t * 4 + i] = mark;        // checked store
+  }
+  barrier(bar);
+}
+"""
+
+
+def setup(memory):
+    memory.set_scalar("nprocs", 4)
+
+
+@pytest.fixture(scope="module")
+def program():
+    return ParallelProgram(SOURCE, "stores",
+                           analysis_config=AnalysisConfig(check_stores=True))
+
+
+class TestStoreChecking:
+    def test_store_check_instrumented(self, program):
+        kinds = [info.check_kind
+                 for info in program.metadata.branches.values()]
+        assert "store_shared" in kinds
+
+    def test_clean_runs_have_no_false_positives(self, program):
+        assert run_false_positive_trial(program, 4, 10, 77, setup=setup) == 0
+
+    def test_corrupted_shared_register_detected_at_the_store(self, program):
+        """Corrupt `mark` at the `mark > 0` branch (bit 5: the branch
+        outcome does not flip, so no control check fires) — the store
+        check must catch the corrupted value downstream."""
+        hook = InjectingHook(FaultSpec(
+            FaultType.BRANCH_CONDITION, thread_id=2, branch_index=1,
+            bit=5, rng_seed=1))
+        result = program.run_protected(4, setup=setup, fault_hook=hook)
+        assert hook.activated
+        assert not hook.flipped_branch  # the control checks saw nothing odd
+        assert result.detected
+        assert any(v.rule == "store-shared" for v in result.violations)
+
+    def test_without_extension_the_same_fault_escapes(self):
+        plain = ParallelProgram(SOURCE, "stores.plain")
+        hook = InjectingHook(FaultSpec(
+            FaultType.BRANCH_CONDITION, thread_id=2, branch_index=1,
+            bit=5, rng_seed=1))
+        result = plain.run_protected(4, setup=setup, fault_hook=hook)
+        assert hook.activated
+        assert not result.detected  # SDC in flags[], silently
+
+    def test_disabled_by_default(self):
+        plain = ParallelProgram(SOURCE, "stores.default")
+        kinds = [info.check_kind
+                 for info in plain.metadata.branches.values()]
+        assert "store_shared" not in kinds

@@ -1,0 +1,155 @@
+"""Tests for IRBuilder, Function, BasicBlock, and Module containers."""
+
+import pytest
+
+from repro.errors import IRError
+from repro.ir import (
+    INT,
+    BOOL,
+    Function,
+    IRBuilder,
+    Module,
+    Phi,
+    array_of,
+    print_function,
+    print_module,
+)
+
+
+def make_function():
+    f = Function("f", params=[("x", INT)], return_type=INT)
+    return f
+
+
+class TestFunction:
+    def test_entry_is_first_block(self):
+        f = make_function()
+        entry = f.add_block("entry")
+        f.add_block("other")
+        assert f.entry is entry
+
+    def test_block_names_unique(self):
+        f = make_function()
+        a = f.add_block("loop")
+        b = f.add_block("loop")
+        assert a.name != b.name
+
+    def test_block_named(self):
+        f = make_function()
+        block = f.add_block("target")
+        assert f.block_named("target") is block
+        with pytest.raises(KeyError):
+            f.block_named("missing")
+
+    def test_signature(self):
+        f = make_function()
+        assert f.signature == "func f(int x) -> int"
+
+
+class TestBasicBlock:
+    def test_append_after_terminator_rejected(self):
+        f = make_function()
+        block = f.add_block()
+        builder = IRBuilder(block)
+        builder.ret(1)
+        with pytest.raises(ValueError):
+            builder.add(1, 2)
+
+    def test_insert_before_terminator(self):
+        f = make_function()
+        block = f.add_block()
+        builder = IRBuilder(block)
+        inst = builder.add(1, 2)
+        builder.ret(inst)
+        from repro.ir import Constant, Output
+        block.insert_before_terminator(Output(Constant(1)))
+        assert block.instructions[-1].opcode == "ret"
+        assert block.instructions[-2].opcode == "output"
+
+    def test_insert_after_phis(self):
+        f = make_function()
+        block = f.add_block()
+        phi = Phi(INT, "p")
+        block.insert_after_phis(phi)
+        phi.parent = block
+        from repro.ir import Constant, Output
+        block.insert_after_phis(Output(Constant(1)))
+        assert isinstance(block.instructions[0], Phi)
+        assert block.instructions[1].opcode == "output"
+
+    def test_predecessors(self):
+        f = make_function()
+        a, b, c = f.add_block(), f.add_block(), f.add_block()
+        IRBuilder(a).jmp(c)
+        IRBuilder(b).jmp(c)
+        assert set(p.name for p in c.predecessors()) == {a.name, b.name}
+
+
+class TestModule:
+    def test_globals(self):
+        m = Module("m")
+        g = m.add_global("x", INT, 7)
+        assert m.global_named("x") is g
+        with pytest.raises(IRError):
+            m.add_global("x", INT)
+        with pytest.raises(IRError):
+            m.global_named("y")
+
+    def test_function_table_indices(self):
+        m = Module("m")
+        f1, f2 = Function("a"), Function("b")
+        m.add_function(f1)
+        m.add_function(f2)
+        assert m.function_index("a") == 0
+        assert m.function_index("b") == 1
+        assert m.function_at(1) is f2
+        assert m.function_at(99) is None
+        assert m.function_at(-1) is None
+
+    def test_duplicate_function_rejected(self):
+        m = Module("m")
+        m.add_function(Function("a"))
+        with pytest.raises(IRError):
+            m.add_function(Function("a"))
+
+
+class TestBuilderAndPrinter:
+    def test_builds_printable_function(self):
+        m = Module("m")
+        g = m.add_global("g", INT, 0)
+        arr = m.add_global("a", array_of(INT, 8))
+        f = Function("f", params=[("x", INT)], return_type=INT)
+        m.add_function(f)
+        entry = f.add_block("entry")
+        then_block = f.add_block("then")
+        done = f.add_block("done")
+        builder = IRBuilder(entry)
+        loaded = builder.load(g)
+        cond = builder.cmp("lt", f.params[0], loaded)
+        builder.br(cond, then_block, done)
+        builder.position_at_end(then_block)
+        builder.storeelem(arr, 0, f.params[0])
+        builder.jmp(done)
+        builder.position_at_end(done)
+        builder.ret(0)
+
+        text = print_function(f)
+        assert "func f(int x) -> int" in text
+        assert "cmp.lt" in text
+        assert "storeelem" in text
+        module_text = print_module(m)
+        assert "global @g : int = 0" in module_text
+        assert "global @a : int[8]" in module_text
+
+    def test_builder_wraps_python_literals(self):
+        f = Function("f")
+        builder = IRBuilder(f.add_block())
+        inst = builder.add(1, 2)
+        assert inst.lhs.value == 1 and inst.rhs.value == 2
+        cond = builder.cmp("eq", inst, 3)
+        assert cond.type is BOOL
+
+    def test_builder_requires_block(self):
+        builder = IRBuilder()
+        with pytest.raises(ValueError):
+            builder.add(1, 2)

@@ -1,0 +1,62 @@
+"""Tests for the error hierarchy and printer details."""
+
+import pytest
+
+from repro import errors
+from repro.frontend import compile_source
+from repro.ir import print_module
+
+
+class TestErrorHierarchy:
+    def test_everything_is_reproerror(self):
+        for cls in (errors.LexError, errors.ParseError, errors.CodegenError,
+                    errors.VerificationError, errors.AnalysisError,
+                    errors.InstrumentationError, errors.GuestCrash,
+                    errors.GuestHang, errors.GuestDeadlock,
+                    errors.SimulationError):
+            assert issubclass(cls, errors.ReproError), cls
+
+    def test_guest_failures_are_not_tool_errors(self):
+        assert issubclass(errors.GuestCrash, errors.GuestFailure)
+        assert not issubclass(errors.GuestCrash, errors.FrontendError)
+
+    def test_frontend_error_formats_position(self):
+        err = errors.ParseError("oops", line=3, column=7)
+        assert "3" in str(err) and "7" in str(err)
+        assert err.line == 3 and err.column == 7
+
+    def test_guest_crash_carries_thread(self):
+        crash = errors.GuestCrash("boom", thread_id=5)
+        assert crash.thread_id == 5
+
+    def test_catching_the_base_class(self):
+        with pytest.raises(errors.ReproError):
+            raise errors.GuestHang("stuck")
+
+
+class TestPrinter:
+    def test_full_module_dump_is_stable(self):
+        source = """
+        global int n = 3;
+        global float f = 0.5;
+        global int a[2];
+        global lock l;
+        global barrier b;
+        func slave() {
+          local int x = n * 2;
+          if (x > 4) { a[0] = x; }
+          output(x);
+        }
+        """
+        text = print_module(compile_source(source, "pmod"))
+        assert "; module pmod" in text
+        assert "global @n : int = 3" in text
+        assert "global @f : float = 0.5" in text
+        assert "global @a : int[2]" in text
+        assert "global @l : lock" in text
+        assert "func slave()" in text
+        assert "br " in text and "storeelem" in text and "output" in text
+        # named registers carry vids for disambiguation (loads are named
+        # after their global), anonymous ones are %vN
+        assert "%n." in text
+        assert "%v" in text

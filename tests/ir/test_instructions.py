@@ -1,0 +1,178 @@
+"""Tests for IR instruction construction, typing rules, and use lists."""
+
+import pytest
+
+from repro.ir import (
+    BOOL,
+    FLOAT,
+    INT,
+    BinOp,
+    Branch,
+    Cast,
+    Cmp,
+    Constant,
+    Function,
+    GlobalVariable,
+    Jump,
+    LoadElem,
+    LoadGlobal,
+    Phi,
+    Ret,
+    StoreGlobal,
+    UnaryOp,
+    array_of,
+)
+
+
+def blocks(n=2):
+    f = Function("f")
+    return [f.add_block() for _ in range(n)]
+
+
+class TestBinOp:
+    def test_int_result(self):
+        inst = BinOp("add", Constant(1), Constant(2))
+        assert inst.type is INT
+
+    def test_float_promotion(self):
+        inst = BinOp("mul", Constant(1), Constant(2.0))
+        assert inst.type is FLOAT
+
+    def test_int_only_ops_reject_float(self):
+        for op in ("mod", "and", "xor", "shl", "shr"):
+            with pytest.raises(TypeError):
+                BinOp(op, Constant(1.0), Constant(2))
+
+    def test_bool_logic_allowed(self):
+        inst = BinOp("and", Constant(True), Constant(False))
+        assert inst.type is BOOL
+
+    def test_bool_arith_rejected(self):
+        with pytest.raises(TypeError):
+            BinOp("add", Constant(True), Constant(1))
+
+    def test_unknown_op(self):
+        with pytest.raises(ValueError):
+            BinOp("pow", Constant(1), Constant(2))
+
+    def test_use_lists(self):
+        c = Constant(5)
+        inst = BinOp("add", c, c)
+        assert inst.uses == []
+        assert c.uses.count(inst) == 2
+
+
+class TestCmpAndUnary:
+    def test_cmp_returns_bool(self):
+        assert Cmp("lt", Constant(1), Constant(2)).type is BOOL
+
+    def test_cmp_rejects_mixed_bool(self):
+        with pytest.raises(TypeError):
+            Cmp("lt", Constant(True), Constant(1))
+
+    def test_not_requires_bool(self):
+        assert UnaryOp("not", Constant(True)).type is BOOL
+        with pytest.raises(TypeError):
+            UnaryOp("not", Constant(1))
+
+    def test_neg_requires_numeric(self):
+        assert UnaryOp("neg", Constant(1)).type is INT
+        assert UnaryOp("neg", Constant(1.0)).type is FLOAT
+        with pytest.raises(TypeError):
+            UnaryOp("neg", Constant(True))
+
+
+class TestCast:
+    def test_kinds(self):
+        assert Cast("itof", Constant(1)).type is FLOAT
+        assert Cast("ftoi", Constant(1.0)).type is INT
+        assert Cast("btoi", Constant(True)).type is INT
+
+    def test_unknown_kind(self):
+        with pytest.raises(ValueError):
+            Cast("bitcast", Constant(1))
+
+
+class TestMemoryOps:
+    def test_load_store_scalar(self):
+        g = GlobalVariable("x", INT, 0)
+        load = LoadGlobal(g)
+        assert load.type is INT
+        store = StoreGlobal(g, Constant(3))
+        assert store.global_ is g
+
+    def test_load_array_rejected_as_scalar(self):
+        arr = GlobalVariable("a", array_of(INT, 4))
+        with pytest.raises(TypeError):
+            LoadGlobal(arr)
+
+    def test_loadelem(self):
+        arr = GlobalVariable("a", array_of(FLOAT, 4))
+        inst = LoadElem(arr, Constant(2))
+        assert inst.type is FLOAT
+
+    def test_loadelem_index_must_be_int(self):
+        arr = GlobalVariable("a", array_of(INT, 4))
+        with pytest.raises(TypeError):
+            LoadElem(arr, Constant(1.5))
+
+
+class TestControlFlow:
+    def test_branch_condition_must_be_bool(self):
+        b1, b2 = blocks()
+        with pytest.raises(TypeError):
+            Branch(Constant(1), b1, b2)
+        br = Branch(Constant(True), b1, b2)
+        assert br.successors() == (b1, b2)
+        assert br.bw_info is None
+
+    def test_jump_and_ret(self):
+        (b1,) = blocks(1)
+        assert Jump(b1).successors() == (b1,)
+        assert Ret().successors() == ()
+        assert Ret(Constant(1)).value.value == 1
+
+
+class TestPhi:
+    def test_incoming_bookkeeping(self):
+        b1, b2 = blocks()
+        phi = Phi(INT, "x")
+        phi.add_incoming(Constant(1), b1)
+        phi.add_incoming(Constant(2), b2)
+        assert phi.incoming_for(b1).value == 1
+        assert phi.incoming_for(b2).value == 2
+        with pytest.raises(KeyError):
+            phi.incoming_for(Function("g").add_block())
+
+    def test_remove_incoming(self):
+        b1, b2 = blocks()
+        phi = Phi(INT)
+        c = Constant(1)
+        phi.add_incoming(c, b1)
+        phi.add_incoming(Constant(2), b2)
+        phi.remove_incoming(0)
+        assert len(phi.operands) == 1
+        assert c.uses == []
+
+
+class TestOperandMutation:
+    def test_set_operand_updates_uses(self):
+        a, b = Constant(1), Constant(2)
+        inst = BinOp("add", a, a)
+        inst.set_operand(0, b)
+        assert a.uses == [inst]
+        assert b.uses == [inst]
+
+    def test_replace_uses_of(self):
+        a, b = Constant(1), Constant(2)
+        inst = BinOp("add", a, a)
+        inst.replace_uses_of(a, b)
+        assert a.uses == []
+        assert b.uses.count(inst) == 2
+
+    def test_drop_operands(self):
+        a = Constant(1)
+        inst = BinOp("add", a, a)
+        inst.drop_operands()
+        assert a.uses == []
+        assert inst.operands == []

@@ -1,0 +1,70 @@
+"""Tests for the IR type system."""
+
+import pytest
+
+from repro.ir import (
+    ArrayType,
+    BOOL,
+    FLOAT,
+    INT,
+    LOCK,
+    VOID,
+    array_of,
+    common_numeric,
+    scalar_type,
+)
+
+
+class TestScalars:
+    def test_interning(self):
+        assert scalar_type("int") is INT
+        assert scalar_type("float") is FLOAT
+        assert scalar_type("bool") is BOOL
+
+    def test_unknown_scalar_rejected(self):
+        with pytest.raises(ValueError):
+            scalar_type("double")
+
+    def test_predicates(self):
+        assert INT.is_scalar and INT.is_numeric
+        assert FLOAT.is_scalar and FLOAT.is_numeric
+        assert BOOL.is_scalar and not BOOL.is_numeric
+        assert not VOID.is_scalar
+        assert LOCK.is_sync and not LOCK.is_scalar
+
+
+class TestArrays:
+    def test_construction(self):
+        a = array_of(INT, 16)
+        assert isinstance(a, ArrayType)
+        assert a.element is INT
+        assert a.length == 16
+        assert not a.is_scalar
+        assert a.name == "int[16]"
+
+    def test_float_arrays(self):
+        assert array_of(FLOAT, 4).element is FLOAT
+
+    def test_bad_element_type(self):
+        with pytest.raises(ValueError):
+            array_of(BOOL, 4)
+
+    def test_bad_length(self):
+        with pytest.raises(ValueError):
+            array_of(INT, 0)
+        with pytest.raises(ValueError):
+            array_of(INT, -3)
+
+
+class TestCommonNumeric:
+    def test_int_int(self):
+        assert common_numeric(INT, INT) is INT
+
+    def test_float_promotes(self):
+        assert common_numeric(INT, FLOAT) is FLOAT
+        assert common_numeric(FLOAT, INT) is FLOAT
+        assert common_numeric(FLOAT, FLOAT) is FLOAT
+
+    def test_non_numeric(self):
+        assert common_numeric(BOOL, INT) is None
+        assert common_numeric(INT, VOID) is None

@@ -1,0 +1,156 @@
+"""Tests for the two-level branch table and the monitor protocol."""
+
+from repro.analysis import Category
+from repro.instrument.config import (
+    CheckedBranchInfo,
+    InstrumentConfig,
+    InstrumentationMetadata,
+)
+from repro.monitor import (
+    BranchTable,
+    ConditionMessage,
+    MODE_FEED,
+    MODE_FULL,
+    Monitor,
+    OutcomeMessage,
+)
+
+
+def make_info(static_id=0, kind="shared", **kwargs) -> CheckedBranchInfo:
+    defaults = dict(static_id=static_id, function_name="f", block_name="b",
+                    check_kind=kind, category=Category.SHARED)
+    defaults.update(kwargs)
+    return CheckedBranchInfo(**defaults)
+
+
+KEY = ((), ())
+
+
+class TestBranchTable:
+    def test_reports_merge_into_one_instance(self):
+        table = BranchTable()
+        info = make_info()
+        e1 = table.record_condition(info, KEY, 0, (5,))
+        e2 = table.record_outcome(info, KEY, 0, True)
+        e3 = table.record_condition(info, KEY, 1, (5,))
+        assert e1 is e2 is e3
+        assert e1.values == {0: (5,), 1: (5,)}
+        assert e1.outcomes == {0: True}
+
+    def test_levels_separate_instances(self):
+        table = BranchTable()
+        info = make_info()
+        a = table.record_outcome(info, ((1,), (0,)), 0, True)
+        b = table.record_outcome(info, ((2,), (0,)), 0, True)   # call path
+        c = table.record_outcome(info, ((1,), (1,)), 0, True)   # loop iter
+        d = table.record_outcome(make_info(static_id=9), ((1,), (0,)), 0, True)
+        assert len({id(x) for x in (a, b, c, d)}) == 4
+
+    def test_occurrence_counter_separates_repeats(self):
+        """Same (call path, static id, loop iters) executed twice by the
+        same thread must produce two instances, aligned by occurrence."""
+        table = BranchTable()
+        info = make_info()
+        first_t0 = table.record_outcome(info, KEY, 0, True)
+        second_t0 = table.record_outcome(info, KEY, 0, False)
+        first_t1 = table.record_outcome(info, KEY, 1, True)
+        second_t1 = table.record_outcome(info, KEY, 1, False)
+        assert first_t0 is first_t1
+        assert second_t0 is second_t1
+        assert first_t0 is not second_t0
+
+    def test_complete_for(self):
+        table = BranchTable()
+        info = make_info()
+        entry = table.record_condition(info, KEY, 0, ())
+        table.record_outcome(info, KEY, 0, True)
+        assert not entry.complete_for(2)
+        table.record_condition(info, KEY, 1, ())
+        table.record_outcome(info, KEY, 1, True)
+        assert entry.complete_for(2)
+
+    def test_discard_checked(self):
+        table = BranchTable()
+        info = make_info()
+        entry = table.record_outcome(info, KEY, 0, True)
+        entry.checked = True
+        assert len(table) == 1
+        assert table.discard_checked() == 1
+        assert len(table) == 0
+
+
+def make_monitor(nthreads=2, mode=MODE_FULL, capacity=64) -> Monitor:
+    metadata = InstrumentationMetadata(
+        config=InstrumentConfig(queue_capacity=capacity))
+    return Monitor(metadata, nthreads, mode=mode)
+
+
+def send_pair(monitor, info, tid, values, taken, key=KEY):
+    assert monitor.try_send(tid, ConditionMessage(info, tid, key, values))
+    assert monitor.try_send(tid, OutcomeMessage(info, tid, key, taken))
+
+
+class TestMonitor:
+    def test_clean_instance_checks_quietly(self):
+        monitor = make_monitor()
+        info = make_info()
+        send_pair(monitor, info, 0, (5,), True)
+        send_pair(monitor, info, 1, (5,), True)
+        monitor.drain(100)
+        assert monitor.stats.instances_checked == 1
+        assert not monitor.detected
+
+    def test_violation_recorded(self):
+        monitor = make_monitor()
+        info = make_info()
+        send_pair(monitor, info, 0, (5,), True)
+        send_pair(monitor, info, 1, (5,), False)
+        monitor.drain(100)
+        assert monitor.detected
+        assert monitor.first_violation().rule == "shared-outcome"
+
+    def test_incomplete_instance_checked_at_finalize(self):
+        monitor = make_monitor(nthreads=3)
+        info = make_info()
+        send_pair(monitor, info, 0, (5,), True)
+        send_pair(monitor, info, 1, (5,), False)  # thread 2 never reports
+        monitor.drain(100)
+        assert not monitor.detected  # incomplete: not checked eagerly
+        monitor.finalize()
+        assert monitor.detected
+
+    def test_round_robin_drain_interleaves(self):
+        monitor = make_monitor()
+        info = make_info()
+        for _ in range(3):
+            monitor.try_send(0, OutcomeMessage(info, 0, KEY, True))
+        monitor.try_send(1, OutcomeMessage(info, 1, KEY, True))
+        assert monitor.drain(2) == 2
+        # one from each queue despite queue 0 having more
+        assert len(monitor.queues[0]) == 2
+        assert len(monitor.queues[1]) == 0
+
+    def test_full_queue_reports_backpressure(self):
+        monitor = make_monitor(capacity=2)
+        info = make_info()
+        assert monitor.try_send(0, OutcomeMessage(info, 0, KEY, True))
+        assert monitor.try_send(0, OutcomeMessage(info, 0, KEY, True))
+        assert not monitor.try_send(0, OutcomeMessage(info, 0, KEY, True))
+        assert monitor.queue_pressure() == 1
+
+    def test_feed_mode_discards_without_checking(self):
+        monitor = make_monitor(mode=MODE_FEED)
+        info = make_info()
+        send_pair(monitor, info, 0, (5,), True)
+        send_pair(monitor, info, 1, (5,), False)   # would be a violation
+        monitor.drain(100)
+        monitor.finalize()
+        assert not monitor.detected
+        assert monitor.stats.instances_checked == 0
+        assert monitor.messages_received == 4
+
+    def test_feed_mode_never_blocks_producers(self):
+        monitor = make_monitor(mode=MODE_FEED, capacity=2)
+        info = make_info()
+        for _ in range(50):
+            assert monitor.try_send(0, OutcomeMessage(info, 0, KEY, True))

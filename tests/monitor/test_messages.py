@@ -1,0 +1,37 @@
+"""Tests for monitor message types (hot-path classes)."""
+
+from repro.analysis import Category
+from repro.instrument.config import CheckedBranchInfo
+from repro.monitor import ConditionMessage, OutcomeMessage
+
+
+def info():
+    return CheckedBranchInfo(static_id=3, function_name="f", block_name="b",
+                             check_kind="partial", category=Category.PARTIAL)
+
+
+class TestMessages:
+    def test_condition_message_fields(self):
+        msg = ConditionMessage(info(), 2, ((1,), (0,)), values=(5, -1))
+        assert not msg.is_outcome
+        assert msg.thread_id == 2
+        assert msg.values == (5, -1)
+        assert "t2" in repr(msg)
+
+    def test_outcome_message_fields(self):
+        msg = OutcomeMessage(info(), 1, ((), ()), taken=True)
+        assert msg.is_outcome
+        assert msg.taken is True
+        assert "taken=True" in repr(msg)
+
+    def test_slots_prevent_accidental_attributes(self):
+        msg = OutcomeMessage(info(), 0, ((), ()), taken=False)
+        try:
+            msg.extra = 1
+        except AttributeError:
+            return
+        raise AssertionError("__slots__ should reject new attributes")
+
+    def test_dispatch_flag_is_class_level(self):
+        assert ConditionMessage.is_outcome is False
+        assert OutcomeMessage.is_outcome is True

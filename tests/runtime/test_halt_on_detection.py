@@ -1,0 +1,28 @@
+"""Tests for halt_on_detection: the paper's 'detects the deviation and
+stops the program' behaviour."""
+
+from repro.faults import FaultSpec, FaultType, InjectingHook
+from repro.runtime import ParallelProgram, RunConfig
+from tests.conftest import FIGURE_1, figure1_setup
+
+
+def test_detection_halts_the_program():
+    program = ParallelProgram(FIGURE_1, "fig1.halt")
+    hook = InjectingHook(FaultSpec(FaultType.BRANCH_FLIP, 2, 10))
+    result = program.run(
+        RunConfig(nthreads=4, halt_on_detection=True),
+        setup=figure1_setup(4), fault_hook=hook)
+    assert result.status == "halted"
+    assert result.detected
+    # the program did not run to completion
+    golden = program.run(RunConfig(nthreads=4), setup=figure1_setup(4))
+    assert result.steps < golden.steps
+
+
+def test_clean_run_is_not_halted():
+    program = ParallelProgram(FIGURE_1, "fig1.halt2")
+    result = program.run(
+        RunConfig(nthreads=4, halt_on_detection=True),
+        setup=figure1_setup(4))
+    assert result.status == "ok"
+    assert not result.detected

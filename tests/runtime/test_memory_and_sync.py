@@ -1,0 +1,131 @@
+"""Tests for simulated shared memory and synchronization objects."""
+
+import pytest
+
+from repro.errors import GuestCrash, SimulationError
+from repro.frontend import compile_source
+from repro.runtime import SharedMemory, SimBarrier, SimMutex
+
+
+def make_memory():
+    module = compile_source("""
+    global int x = 7;
+    global float y = 1.5;
+    global int a[4];
+    global float fa[2];
+    global lock l;
+    """)
+    return SharedMemory(module)
+
+
+class TestSharedMemory:
+    def test_initialization_from_module(self):
+        memory = make_memory()
+        assert memory.get_scalar("x") == 7
+        assert memory.get_scalar("y") == 1.5
+        assert memory.get_array("a") == [0, 0, 0, 0]
+        assert "l" not in memory.scalars  # sync objects are not memory
+
+    def test_guest_scalar_round_trip(self):
+        memory = make_memory()
+        memory.write_scalar("x", 42)
+        assert memory.read_scalar("x") == 42
+
+    def test_guest_unknown_global_crashes(self):
+        memory = make_memory()
+        with pytest.raises(GuestCrash):
+            memory.read_scalar("nope")
+        with pytest.raises(GuestCrash):
+            memory.write_scalar("nope", 1)
+
+    def test_bounds_checking(self):
+        memory = make_memory()
+        memory.write_elem("a", 3, 9)
+        assert memory.read_elem("a", 3) == 9
+        for bad in (-1, 4, 1000):
+            with pytest.raises(GuestCrash):
+                memory.read_elem("a", bad)
+            with pytest.raises(GuestCrash):
+                memory.write_elem("a", bad, 0)
+
+    def test_host_set_array_coerces(self):
+        memory = make_memory()
+        memory.set_array("fa", [1, 2])
+        assert memory.get_array("fa") == [1.0, 2.0]
+        memory.set_array("a", [1.9, 2])
+        assert memory.get_array("a")[0] == 1
+
+    def test_host_set_too_long_rejected(self):
+        memory = make_memory()
+        with pytest.raises(SimulationError):
+            memory.set_array("a", range(5))
+
+    def test_host_partial_fill(self):
+        memory = make_memory()
+        memory.set_array("a", [5, 6])
+        assert memory.get_array("a") == [5, 6, 0, 0]
+
+    def test_snapshot(self):
+        memory = make_memory()
+        snap = memory.snapshot(["x", "a"])
+        assert snap == {"x": [7], "a": [0, 0, 0, 0]}
+        with pytest.raises(SimulationError):
+            memory.snapshot(["missing"])
+
+    def test_access_counters(self):
+        memory = make_memory()
+        memory.read_scalar("x")
+        memory.write_elem("a", 0, 1)
+        assert memory.loads == 1 and memory.stores == 1
+
+
+class TestSimMutex:
+    def test_uncontended_acquire(self):
+        m = SimMutex("l")
+        assert m.try_acquire(0)
+        assert m.owner == 0
+        assert m.acquisitions == 1
+
+    def test_contention_queues_fifo(self):
+        m = SimMutex("l")
+        m.try_acquire(0)
+        assert not m.try_acquire(1)
+        assert not m.try_acquire(2)
+        assert m.waiters == [1, 2]
+        assert m.contentions == 2
+        woken = m.release(0, now=100.0)
+        assert woken == 1 and m.owner == 1
+        assert m.last_release == 100.0
+
+    def test_release_by_non_owner_refused(self):
+        m = SimMutex("l")
+        m.try_acquire(0)
+        assert m.release(1, now=0.0) is None
+        assert m.owner == 0
+
+    def test_duplicate_wait_not_queued_twice(self):
+        m = SimMutex("l")
+        m.try_acquire(0)
+        m.try_acquire(1)
+        m.try_acquire(1)
+        assert m.waiters == [1]
+
+
+class TestSimBarrier:
+    def test_episode(self):
+        b = SimBarrier("b", expected=3)
+        assert not b.arrive(0, 10.0)
+        assert not b.arrive(1, 30.0)
+        assert b.arrive(2, 20.0)
+        assert b.release() == 30.0  # latest arrival clock
+        assert b.generation == 1
+        assert b.episodes == 1
+        assert b.arrived == {}
+
+    def test_multiple_generations(self):
+        b = SimBarrier("b", expected=2)
+        for generation in range(3):
+            b.arrive(0, 1.0)
+            assert b.arrive(1, 2.0)
+            b.release()
+        assert b.generation == 3

@@ -1,0 +1,121 @@
+"""Tests for bit-accurate guest-value helpers, with property tests."""
+
+import math
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.errors import GuestCrash
+from repro.runtime import (
+    INT_MAX,
+    INT_MIN,
+    flip_float_bit,
+    flip_int_bit,
+    flip_value_bit,
+    float_to_int,
+    int_div,
+    int_mod,
+    wrap_int,
+)
+
+int64s = st.integers(min_value=INT_MIN, max_value=INT_MAX)
+bits = st.integers(min_value=0, max_value=63)
+
+
+class TestWrap:
+    def test_identity_in_range(self):
+        for v in (0, 1, -1, INT_MAX, INT_MIN):
+            assert wrap_int(v) == v
+
+    def test_overflow_wraps(self):
+        assert wrap_int(INT_MAX + 1) == INT_MIN
+        assert wrap_int(INT_MIN - 1) == INT_MAX
+        assert wrap_int(2 ** 64) == 0
+
+    @given(st.integers())
+    def test_always_in_range(self, v):
+        assert INT_MIN <= wrap_int(v) <= INT_MAX
+
+    @given(int64s, int64s)
+    def test_additive_homomorphism(self, a, b):
+        assert wrap_int(a + b) == wrap_int(wrap_int(a) + wrap_int(b))
+
+
+class TestCStyleDivMod:
+    def test_truncation_toward_zero(self):
+        assert int_div(7, 2) == 3
+        assert int_div(-7, 2) == -3
+        assert int_div(7, -2) == -3
+        assert int_div(-7, -2) == 3
+
+    def test_mod_sign_follows_dividend(self):
+        assert int_mod(7, 3) == 1
+        assert int_mod(-7, 3) == -1
+        assert int_mod(7, -3) == 1
+
+    def test_division_by_zero_crashes(self):
+        with pytest.raises(GuestCrash):
+            int_div(1, 0)
+        with pytest.raises(GuestCrash):
+            int_mod(1, 0)
+
+    @given(int64s, int64s.filter(lambda v: v != 0))
+    def test_div_mod_identity(self, a, b):
+        q, r = int_div(a, b), int_mod(a, b)
+        assert wrap_int(q * b + r) == a
+        if a != INT_MIN or b != -1:  # the lone overflow case
+            assert abs(r) < abs(b)
+
+
+class TestFloatToInt:
+    def test_truncates(self):
+        assert float_to_int(3.9) == 3
+        assert float_to_int(-3.9) == -3
+
+    def test_nan_inf_crash(self):
+        for bad in (float("nan"), float("inf"), float("-inf")):
+            with pytest.raises(GuestCrash):
+                float_to_int(bad)
+
+    def test_overflow_crashes(self):
+        with pytest.raises(GuestCrash):
+            float_to_int(1e300)
+
+
+class TestBitFlips:
+    @given(int64s, bits)
+    def test_int_flip_is_involution(self, value, bit):
+        assert flip_int_bit(flip_int_bit(value, bit), bit) == value
+
+    @given(int64s, bits)
+    def test_int_flip_changes_value(self, value, bit):
+        assert flip_int_bit(value, bit) != value
+
+    def test_sign_bit(self):
+        assert flip_int_bit(0, 63) == INT_MIN
+        assert flip_int_bit(1, 0) == 0
+
+    def test_bit_range_validated(self):
+        with pytest.raises(ValueError):
+            flip_int_bit(0, 64)
+        with pytest.raises(ValueError):
+            flip_float_bit(0.0, -1)
+
+    @given(st.floats(allow_nan=False, allow_infinity=False), bits)
+    def test_float_flip_is_involution(self, value, bit):
+        once = flip_float_bit(value, bit)
+        twice = flip_float_bit(once, bit)
+        assert twice == value or (math.isnan(twice) and math.isnan(value))
+
+    def test_float_exponent_bit_scales(self):
+        flipped = flip_float_bit(1.0, 62)
+        assert flipped != 1.0 and abs(flipped) > 1.0
+
+    def test_bool_flip(self):
+        assert flip_value_bit(True, 0) is False
+        assert flip_value_bit(False, 0) is True
+        assert flip_value_bit(True, 5) is True  # other bits don't exist
+
+    @given(int64s, bits)
+    def test_flip_value_dispatches_ints(self, value, bit):
+        assert flip_value_bit(value, bit) == flip_int_bit(value, bit)
