@@ -1,0 +1,63 @@
+"""Serial vs process-pool campaign wall-clock (the tentpole measurement).
+
+A fixed fig8-style campaign — every kernel x 4 threads x 40 branch-flip
+injections (the ``REPRO_FAULTS=40`` point) — is executed twice: once with
+``jobs=1`` (the plain serial loop) and once with one worker per
+available core.  The two coverage matrices must be identical (the
+engine's determinism contract) and on a >= 4-core machine the pool run
+must be >= 2.5x faster.  The measured speedup is written under
+``benchmarks/results/``.
+
+Override the worker count with ``REPRO_JOBS`` (0 = all cores).
+"""
+
+import os
+import time
+
+from repro.experiments import fig8
+from repro.experiments.coverage import compute_coverage
+from repro.faults import FaultType
+from repro.parallel import available_cpus, resolve_jobs
+
+INJECTIONS = 40
+THREADS = (4,)
+SEED = 2012
+
+
+def _run_matrix(jobs):
+    started = time.perf_counter()
+    result = compute_coverage(FaultType.BRANCH_FLIP, thread_counts=THREADS,
+                              injections=INJECTIONS, seed=SEED, jobs=jobs)
+    return result, time.perf_counter() - started
+
+
+def test_campaign_parallel_speedup(benchmark, save_result):
+    env_jobs = os.environ.get("REPRO_JOBS", "").strip()
+    jobs = resolve_jobs(int(env_jobs)) if env_jobs else available_cpus()
+
+    serial, serial_seconds = _run_matrix(jobs=1)
+    pooled, pooled_seconds = benchmark.pedantic(
+        _run_matrix, kwargs={"jobs": jobs}, rounds=1, iterations=1)
+
+    # Determinism contract: the pool changes wall-clock, nothing else.
+    assert serial.stats == pooled.stats
+
+    speedup = serial_seconds / pooled_seconds if pooled_seconds else 0.0
+    lines = [
+        "Parallel campaign engine: fig8-style matrix "
+        "(%d kernels x %s threads x %d branch-flip injections)"
+        % (len(serial.stats), ",".join(map(str, THREADS)), INJECTIONS),
+        "  cpus available : %d" % available_cpus(),
+        "  jobs           : %d" % jobs,
+        "  serial (jobs=1): %.2f s" % serial_seconds,
+        "  pool  (jobs=%d): %.2f s" % (jobs, pooled_seconds),
+        "  speedup        : %.2fx" % speedup,
+        "  stats identical: yes",
+    ]
+    save_result("campaign_parallel", "\n".join(lines))
+    save_result("fig8_parallel_sample", fig8.render(pooled))
+
+    if jobs >= 4 and available_cpus() >= 4:
+        assert speedup >= 2.5, (
+            "expected >= 2.5x on %d cores, measured %.2fx"
+            % (available_cpus(), speedup))

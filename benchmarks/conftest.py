@@ -12,6 +12,9 @@ Scaling knobs (environment):
 ``REPRO_THREADS``   thread counts for the coverage figures (default 4,32)
 ``REPRO_FP_RUNS``   error-free runs per program (default 100, as in the
                     paper)
+``REPRO_JOBS``      worker processes for campaign-shaped workloads
+                    (0 = all cores; default serial); results are
+                    bit-identical to serial runs, only faster
 """
 
 from __future__ import annotations

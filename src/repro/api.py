@@ -113,14 +113,20 @@ class BlockWatch:
     def inject(self, fault_type: FaultType, nthreads: int = 4,
                injections: int = 100, setup: Setup = None,
                output_globals: Sequence[str] = (),
-               seed: int = 2012, quantize_bits: int = 0) -> CampaignStats:
-        """Run a fault-injection campaign; returns aggregated statistics."""
+               seed: int = 2012, quantize_bits: int = 0,
+               jobs: Optional[int] = None) -> CampaignStats:
+        """Run a fault-injection campaign; returns aggregated statistics.
+
+        ``jobs`` fans the injections out across worker processes
+        (``None`` reads ``REPRO_JOBS``, ``0`` uses every core); the
+        statistics are identical to a serial run for the same seed.
+        """
         config = CampaignConfig(
             nthreads=nthreads, injections=injections, seed=seed,
             output_globals=tuple(output_globals),
             quantize_bits=quantize_bits)
         return run_campaign(self.program, fault_type, config,
-                            setup=setup).stats
+                            setup=setup, jobs=jobs).stats
 
 
 def protect(source: str, **kwargs) -> BlockWatch:

@@ -7,7 +7,7 @@ Subcommands::
     repro-minic report  prog.mc               # branch classification
     repro-minic run     prog.mc -t 4          # execute (protected)
     repro-minic run     prog.mc -t 4 --baseline
-    repro-minic inject  prog.mc -t 4 -n 100 --fault flip
+    repro-minic inject  prog.mc -t 4 -n 100 --fault flip -j 4
 
 Programs receive ``nprocs`` automatically; other inputs can be seeded
 with ``--set name=value`` (scalars) and ``--fill array=v0,v1,...``.
@@ -120,7 +120,7 @@ def cmd_inject(args) -> int:
     stats = bw.inject(fault, nthreads=args.threads,
                       injections=args.injections, setup=setup,
                       output_globals=outputs, seed=args.seed,
-                      quantize_bits=args.quantize)
+                      quantize_bits=args.quantize, jobs=args.jobs)
     print(format_table(
         stats.SUMMARY_HEADERS, [stats.summary_row()],
         title="Campaign: %d x %s on %s" % (args.injections, fault.value,
@@ -174,6 +174,9 @@ def main(argv=None) -> int:
                                "comparison")
     p_inject.add_argument("--quantize", type=int, default=0,
                           help="low-order result bits ignored in comparison")
+    p_inject.add_argument("-j", "--jobs", type=int, default=None,
+                          help="worker processes for the campaign (0 = all "
+                               "cores; default: $REPRO_JOBS or serial)")
     p_inject.set_defaults(func=cmd_inject)
 
     args = parser.parse_args(argv)

@@ -10,9 +10,11 @@ Knobs (environment variables, so the pytest-benchmark harnesses can be
 scaled without editing code):
 
 ``REPRO_FAULTS``   injections per (program, fault type, thread count);
-                   default 60 (the paper uses 1000 — set it if you have
-                   the minutes to spare).
+                   default 60 (the paper uses 1000 — feasible with a
+                   few cores, see ``REPRO_JOBS``).
 ``REPRO_THREADS``  comma-separated thread counts; default ``4,32``.
+``REPRO_JOBS``     worker processes per campaign (0 = all cores);
+                   results are bit-identical to serial execution.
 """
 
 from __future__ import annotations
@@ -53,7 +55,11 @@ class CoverageResult:
 def compute_coverage(fault_type: FaultType,
                      thread_counts: Tuple[int, ...] = None,
                      injections: int = None,
-                     seed: int = 2012) -> CoverageResult:
+                     seed: int = 2012,
+                     jobs: int = None) -> CoverageResult:
+    """The campaign matrix.  ``jobs`` fans each campaign's injections
+    across worker processes (``None`` reads ``REPRO_JOBS``); every
+    campaign's statistics are identical to a serial run."""
     thread_counts = thread_counts if thread_counts is not None else env_threads()
     injections = injections if injections is not None else env_injections()
     result = CoverageResult(fault_type=fault_type,
@@ -67,7 +73,7 @@ def compute_coverage(fault_type: FaultType,
                 output_globals=spec.output_globals,
                 quantize_bits=spec.sdc_quantize_bits)
             campaign = run_campaign(prog, fault_type, config,
-                                    setup=spec.setup(nthreads))
+                                    setup=spec.setup(nthreads), jobs=jobs)
             result.stats[(spec.name, nthreads)] = campaign.stats
     return result
 

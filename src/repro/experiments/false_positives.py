@@ -40,14 +40,14 @@ class FalsePositiveResult:
 
 
 def compute(runs: int = None, nthreads: int = 4,
-            base_seed: int = 555) -> FalsePositiveResult:
+            base_seed: int = 555, jobs: int = None) -> FalsePositiveResult:
     runs = runs if runs is not None else env_runs()
     result = FalsePositiveResult(runs_per_program=runs, nthreads=nthreads)
     for spec in all_kernels():
         prog = spec.program()
         result.false_positives[spec.name] = run_false_positive_trial(
             prog, nthreads, runs, base_seed, setup=spec.setup(nthreads),
-            output_globals=spec.output_globals)
+            output_globals=spec.output_globals, jobs=jobs)
     return result
 
 

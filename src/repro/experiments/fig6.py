@@ -16,8 +16,9 @@ from dataclasses import dataclass, field
 from typing import Dict, List, Optional
 
 from repro.analysis import format_table
+from repro.parallel import run_tasks
 from repro.runtime import CostModel
-from repro.splash2 import PAPER_NAMES, all_kernels
+from repro.splash2 import PAPER_NAMES, all_kernels, kernel
 
 #: Approximate per-program normalized times read off the paper's Figure 6.
 PAPER_FIG_6 = {
@@ -43,16 +44,26 @@ class Fig6Result:
         return math.exp(sum(math.log(v) for v in values) / len(values))
 
 
+def _overhead_task(seed: int, task) -> float:
+    """One independent timing run: (kernel name, thread count)."""
+    name, nthreads = task
+    spec = kernel(name)
+    return spec.program().overhead(nthreads, seed=seed,
+                                   setup=spec.setup(nthreads))
+
+
 def compute(thread_counts=(4, 32), seed: int = 0,
-            cost_model: Optional[CostModel] = None) -> Fig6Result:
+            cost_model: Optional[CostModel] = None,
+            jobs: Optional[int] = None) -> Fig6Result:
     result = Fig6Result(thread_counts=list(thread_counts))
-    for spec in all_kernels():
-        prog = spec.program()
-        row = []
-        for nthreads in thread_counts:
-            row.append(prog.overhead(nthreads, seed=seed,
-                                     setup=spec.setup(nthreads)))
-        result.overheads[spec.name] = row
+    specs = all_kernels()
+    for spec in specs:
+        spec.program()  # precompile in the parent; fork workers inherit
+    tasks = [(spec.name, nthreads)
+             for spec in specs for nthreads in thread_counts]
+    values = run_tasks(_overhead_task, tasks, jobs=jobs, context=seed)
+    for (name, _), value in zip(tasks, values):
+        result.overheads.setdefault(name, []).append(value)
     return result
 
 

@@ -20,6 +20,8 @@ from dataclasses import dataclass, field
 from typing import Dict, List
 
 from repro.analysis import format_table
+from repro.experiments.fig6 import _overhead_task
+from repro.parallel import run_tasks
 from repro.splash2 import all_kernels
 
 DEFAULT_THREADS = (1, 2, 4, 8, 16, 32)
@@ -44,13 +46,17 @@ class Fig7Result:
         return all(a >= b for a, b in zip(tail, tail[1:]))
 
 
-def compute(thread_counts=DEFAULT_THREADS, seed: int = 0) -> Fig7Result:
+def compute(thread_counts=DEFAULT_THREADS, seed: int = 0,
+            jobs: int = None) -> Fig7Result:
     result = Fig7Result(thread_counts=list(thread_counts))
-    for spec in all_kernels():
-        prog = spec.program()
-        result.per_program[spec.name] = [
-            prog.overhead(n, seed=seed, setup=spec.setup(n))
-            for n in thread_counts]
+    specs = all_kernels()
+    for spec in specs:
+        spec.program()  # precompile in the parent; fork workers inherit
+    tasks = [(spec.name, nthreads)
+             for spec in specs for nthreads in thread_counts]
+    values = run_tasks(_overhead_task, tasks, jobs=jobs, context=seed)
+    for (name, _), value in zip(tasks, values):
+        result.per_program.setdefault(name, []).append(value)
     for index in range(len(thread_counts)):
         values = [row[index] for row in result.per_program.values()]
         result.geomean.append(

@@ -6,12 +6,19 @@ Installed as ``repro-blockwatch``::
     repro-blockwatch table3 table4 table5
     repro-blockwatch fig6 fig7
     REPRO_FAULTS=200 repro-blockwatch fig8 fig9
+    repro-blockwatch --jobs 8 fig8          # 8 worker processes
+    REPRO_FAULTS=1000 REPRO_JOBS=0 repro-blockwatch fig8 fig9  # paper scale
     repro-blockwatch all
+
+``--jobs`` (or the ``REPRO_JOBS`` environment variable) fans every
+campaign-shaped workload out across worker processes; results are
+bit-identical to serial runs.
 """
 
 from __future__ import annotations
 
 import argparse
+import os
 import sys
 import time
 from typing import Callable, Dict
@@ -61,7 +68,16 @@ def main(argv=None) -> int:
                     "32-core substrate.")
     parser.add_argument("experiments", nargs="+",
                         help="experiment names, 'list', or 'all'")
+    parser.add_argument("-j", "--jobs", type=int, default=None,
+                        help="worker processes for campaign-shaped "
+                             "experiments (0 = all cores; default: "
+                             "$REPRO_JOBS or serial); results are "
+                             "identical to serial runs")
     args = parser.parse_args(argv)
+    if args.jobs is not None:
+        # The experiment thunks take no arguments; the jobs policy flows
+        # through the environment (read by repro.parallel.resolve_jobs).
+        os.environ["REPRO_JOBS"] = str(args.jobs)
 
     requested = list(args.experiments)
     if requested == ["list"]:

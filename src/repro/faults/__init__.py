@@ -5,6 +5,8 @@ from repro.faults.campaign import (
     CampaignResult,
     InjectionRecord,
     golden_run,
+    injection_seed,
+    plan_injection,
     run_campaign,
     run_false_positive_trial,
     run_one_injection,
@@ -15,7 +17,8 @@ from repro.faults.outcomes import CampaignStats, Outcome
 
 __all__ = [
     "CampaignConfig", "CampaignResult", "InjectionRecord",
-    "golden_run", "run_campaign", "run_false_positive_trial",
+    "golden_run", "injection_seed", "plan_injection",
+    "run_campaign", "run_false_positive_trial",
     "run_one_injection", "InjectingHook", "plan_fault",
     "FaultSpec", "FaultType", "CampaignStats", "Outcome",
 ]

@@ -7,18 +7,26 @@ masked / detected / crash / hang / SDC.  Coverage is reported both with
 BLOCKWATCH (detections count) and for the original program (detections
 ignored — the run's underlying fate is used), which is how the paper's
 Figures 8 and 9 pair their bars.
+
+Campaigns run through :mod:`repro.parallel`: every injection's
+:class:`FaultSpec` is derived up-front from ``(base_seed,
+injection_index)`` via a stable hash, so any partitioning of the work
+across worker processes yields exactly the plans — and the aggregated
+:class:`CampaignStats` — of a serial run.  ``jobs=1`` (the default)
+stays on the plain in-process loop.
 """
 
 from __future__ import annotations
 
 import random
 from dataclasses import dataclass, field
-from typing import Callable, Optional, Sequence, Tuple
+from typing import Callable, Dict, Optional, Sequence, Tuple
 
 from repro.faults.injector import InjectingHook, plan_fault
 from repro.faults.models import FaultSpec, FaultType
 from repro.faults.outcomes import CampaignStats, Outcome
 from repro.monitor import MODE_FULL
+from repro.parallel import derive_seed, run_tasks
 from repro.runtime.interpreter import RunResult
 from repro.runtime.memory import SharedMemory
 from repro.runtime.program import ParallelProgram, RunConfig
@@ -103,12 +111,87 @@ def golden_run(program: ParallelProgram, config: CampaignConfig,
     return result
 
 
+def injection_seed(base_seed: int, fault_type: FaultType, index: int) -> int:
+    """The seed of injection ``index``'s planning RNG, derived from
+    ``(base_seed, fault_type, index)`` by a stable hash — independent of
+    the process, of ``PYTHONHASHSEED``, and of how a campaign is
+    partitioned across workers."""
+    return derive_seed(base_seed, "injection", fault_type.value, index)
+
+
+def plan_injection(fault_type: FaultType, branch_counts: Dict[int, int],
+                   base_seed: int, index: int) -> Optional[FaultSpec]:
+    """Plan the ``index``-th injection of a campaign.  Each injection
+    owns an independent RNG (counter-mode derivation), so the plan for
+    index ``i`` never depends on how many random draws injections
+    ``0..i-1`` consumed — the property that makes any work partitioning
+    reproduce the serial fault plan."""
+    rng = random.Random(injection_seed(base_seed, fault_type, index))
+    return plan_fault(fault_type, branch_counts, rng)
+
+
+@dataclass
+class _CampaignContext:
+    """Per-worker campaign state: the compiled program plus the golden
+    artifacts every injection classifies against.  Built once in the
+    parent (fork workers inherit it); rebuilt once per worker from
+    source under spawn."""
+
+    program: ParallelProgram
+    fault_type: FaultType
+    config: CampaignConfig
+    setup: Optional[Callable[[SharedMemory], None]]
+    golden_signature: Tuple
+    branch_counts: Dict[int, int]
+    max_steps: int
+
+
+def _campaign_context_from_source(source: str, name: str, entry: str,
+                                  fault_type: FaultType,
+                                  config: CampaignConfig, setup,
+                                  golden_signature, branch_counts,
+                                  max_steps) -> _CampaignContext:
+    """Spawn-pool factory: compile + analyze + instrument once per worker
+    process and reuse it for every injection the worker executes."""
+    program = ParallelProgram(source, name, entry=entry)
+    return _CampaignContext(program=program, fault_type=fault_type,
+                            config=config, setup=setup,
+                            golden_signature=golden_signature,
+                            branch_counts=branch_counts, max_steps=max_steps)
+
+
+def _injection_task(ctx: _CampaignContext, index: int) -> InjectionRecord:
+    """Plan and execute one injection; returns a picklable record."""
+    spec = plan_injection(ctx.fault_type, ctx.branch_counts,
+                          ctx.config.seed, index)
+    if spec is None:
+        raise RuntimeError("program executed no branches; nothing to inject")
+    outcome, baseline_outcome, hook = run_one_injection(
+        ctx.program, spec, ctx.config, ctx.setup, ctx.golden_signature,
+        ctx.max_steps)
+    return InjectionRecord(
+        spec=spec, outcome=outcome, baseline_outcome=baseline_outcome,
+        flipped_branch=hook.flipped_branch, detail=hook.detail)
+
+
 def run_campaign(program: ParallelProgram,
                  fault_type: FaultType,
                  config: CampaignConfig,
                  setup: Optional[Callable[[SharedMemory], None]] = None,
-                 keep_records: bool = False) -> CampaignResult:
-    """Execute one full campaign and return aggregated statistics."""
+                 keep_records: bool = False,
+                 jobs: Optional[int] = None,
+                 progress: Optional[Callable[[int, int, float], None]] = None
+                 ) -> CampaignResult:
+    """Execute one full campaign and return aggregated statistics.
+
+    ``jobs`` fans the independent injections out across a process pool
+    (``None`` reads ``REPRO_JOBS``; ``1`` runs today's serial loop; ``0``
+    uses every core).  The result is identical for every ``jobs`` value:
+    specs are planned per-index (:func:`plan_injection`), records are
+    re-assembled in index order, and :class:`CampaignStats` aggregation
+    is order-independent.  ``progress(done, total, chunk_seconds)`` fires
+    after every completed chunk.
+    """
     golden = golden_run(program, config, setup)
     golden_signature = quantize_signature(
         golden.output_signature(config.output_globals), config.quantize_bits)
@@ -117,19 +200,21 @@ def run_campaign(program: ParallelProgram,
     stats = CampaignStats(program=program.name, fault_type=fault_type.value,
                           nthreads=config.nthreads)
     result = CampaignResult(stats=stats, golden=golden)
-    rng = random.Random((config.seed << 1) ^ hash(fault_type.value) & 0xFFFF)
-
-    for _ in range(config.injections):
-        spec = plan_fault(fault_type, golden.branch_counts, rng)
-        if spec is None:
-            raise RuntimeError("program executed no branches; nothing to inject")
-        outcome, baseline_outcome, hook = run_one_injection(
-            program, spec, config, setup, golden_signature, max_steps)
-        stats.note(outcome, baseline_outcome)
-        if keep_records:
-            result.records.append(InjectionRecord(
-                spec=spec, outcome=outcome, baseline_outcome=baseline_outcome,
-                flipped_branch=hook.flipped_branch, detail=hook.detail))
+    ctx = _CampaignContext(
+        program=program, fault_type=fault_type, config=config, setup=setup,
+        golden_signature=golden_signature,
+        branch_counts=dict(golden.branch_counts), max_steps=max_steps)
+    records = run_tasks(
+        _injection_task, range(config.injections), jobs=jobs, context=ctx,
+        context_factory=_campaign_context_from_source,
+        factory_args=(program.source, program.name, program.entry,
+                      fault_type, config, setup, golden_signature,
+                      dict(golden.branch_counts), max_steps),
+        progress=progress)
+    for record in records:
+        stats.note(record.outcome, record.baseline_outcome)
+    if keep_records:
+        result.records = list(records)
     return result
 
 
@@ -161,20 +246,45 @@ def run_one_injection(program: ParallelProgram, spec: FaultSpec,
     return protected, underlying, hook
 
 
+@dataclass
+class _TrialContext:
+    program: ParallelProgram
+    nthreads: int
+    base_seed: int
+    setup: Optional[Callable[[SharedMemory], None]]
+
+
+def _trial_context_from_source(source: str, name: str, entry: str,
+                               nthreads: int, base_seed: int,
+                               setup) -> _TrialContext:
+    return _TrialContext(program=ParallelProgram(source, name, entry=entry),
+                         nthreads=nthreads, base_seed=base_seed, setup=setup)
+
+
+def _trial_task(ctx: _TrialContext, index: int) -> bool:
+    result = ctx.program.run_protected(
+        ctx.nthreads, seed=ctx.base_seed + index, setup=ctx.setup)
+    if result.status != "ok":
+        raise RuntimeError("error-free run #%d failed: %s"
+                           % (index, result.failure_message))
+    return result.detected
+
+
 def run_false_positive_trial(program: ParallelProgram, nthreads: int,
                              runs: int, base_seed: int,
                              setup: Optional[Callable[[SharedMemory], None]] = None,
-                             output_globals: Sequence[str] = ()) -> int:
+                             output_globals: Sequence[str] = (),
+                             jobs: Optional[int] = None) -> int:
     """The paper's false-positive experiment: ``runs`` error-free runs
     (different schedules via different seeds); returns the number of runs
-    in which the monitor reported anything — must be zero."""
-    false_positives = 0
-    for index in range(runs):
-        result = program.run_protected(nthreads, seed=base_seed + index,
-                                       setup=setup)
-        if result.status != "ok":
-            raise RuntimeError("error-free run #%d failed: %s"
-                               % (index, result.failure_message))
-        if result.detected:
-            false_positives += 1
-    return false_positives
+    in which the monitor reported anything — must be zero.  Each run's
+    seed is ``base_seed + index``, so the trial parallelizes across
+    ``jobs`` workers without changing a single schedule."""
+    ctx = _TrialContext(program=program, nthreads=nthreads,
+                        base_seed=base_seed, setup=setup)
+    detections = run_tasks(
+        _trial_task, range(runs), jobs=jobs, context=ctx,
+        context_factory=_trial_context_from_source,
+        factory_args=(program.source, program.name, program.entry,
+                      nthreads, base_seed, setup))
+    return sum(detections)

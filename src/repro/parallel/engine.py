@@ -1,0 +1,187 @@
+"""The worker-pool runner.
+
+``run_tasks(task_fn, items, ...)`` maps a pure function over independent
+work items and returns the results **in item order**, regardless of how
+the items were chunked or which worker finished first — so any
+aggregation of the result list is automatically partition-independent.
+
+Execution strategy, in order of preference:
+
+``fork``
+    The default on platforms that support it.  The expensive per-campaign
+    context (compiled program, golden-run artifacts, setup closures) is
+    handed to each worker through the pool initializer, which under fork
+    is *inherited*, not pickled — workers start with the parent's
+    compiled image and never recompile.
+
+``spawn``
+    Fallback when fork is unavailable.  Workers cannot inherit memory,
+    so the initializer instead receives a picklable ``context_factory``
+    and rebuilds the context **once per worker process** (one compile +
+    analyze + instrument per worker, cached for all its chunks — never
+    once per injection).  Requires the factory arguments (or the context
+    itself) to survive ``pickle``.
+
+serial
+    ``jobs=1``, a single work item, or an unpicklable spawn context all
+    stay on the plain in-process loop — today's code path, no pool, no
+    pickling.
+
+Dispatch is chunked: items are grouped into contiguous chunks that are
+consumed by an unordered ``imap``, and an optional ``progress`` callback
+fires once per completed chunk with ``(done, total, chunk_seconds)``.
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+import os
+import pickle
+import time
+import warnings
+from typing import Callable, Iterable, List, Optional, Sequence, Tuple
+
+
+def available_cpus() -> int:
+    """CPUs usable by this process (affinity-aware where supported)."""
+    try:
+        return len(os.sched_getaffinity(0)) or 1
+    except AttributeError:  # pragma: no cover - non-Linux
+        return os.cpu_count() or 1
+
+
+def resolve_jobs(jobs: Optional[int] = None) -> int:
+    """The shared ``jobs`` policy: ``None`` reads ``REPRO_JOBS`` (absent
+    or empty means 1 — serial); ``0`` or negative means all available
+    CPUs."""
+    if jobs is None:
+        raw = os.environ.get("REPRO_JOBS", "").strip()
+        if not raw:
+            return 1
+        try:
+            jobs = int(raw)
+        except ValueError:
+            raise ValueError(
+                "REPRO_JOBS must be an integer (0 = all cores), got %r"
+                % raw) from None
+    jobs = int(jobs)
+    if jobs <= 0:
+        return available_cpus()
+    return jobs
+
+
+def default_chunk_size(nitems: int, jobs: int) -> int:
+    """Aim for ~4 chunks per worker: large enough to amortize dispatch,
+    small enough that progress callbacks stay live and stragglers don't
+    serialize the tail."""
+    return max(1, -(-nitems // (jobs * 4)))
+
+
+# -- worker-side state -------------------------------------------------------
+
+#: Per-worker cache, populated exactly once by :func:`_init_worker`.
+_WORKER = {"fn": None, "ctx": None}
+
+
+def _init_worker(task_fn, context, context_factory, factory_args) -> None:
+    _WORKER["fn"] = task_fn
+    if context_factory is not None and context is None:
+        context = context_factory(*factory_args)
+    _WORKER["ctx"] = context
+
+
+def _run_chunk(payload: Tuple[int, Sequence[Tuple[int, object]]]):
+    chunk_id, chunk = payload
+    fn, ctx = _WORKER["fn"], _WORKER["ctx"]
+    started = time.perf_counter()
+    out = [(index, fn(ctx, item)) for index, item in chunk]
+    return chunk_id, out, time.perf_counter() - started
+
+
+# -- driver ------------------------------------------------------------------
+
+def _run_serial(task_fn, items, context, context_factory, factory_args,
+                progress) -> List:
+    if context is None and context_factory is not None:
+        context = context_factory(*factory_args)
+    results = []
+    total = len(items)
+    for index, item in enumerate(items):
+        started = time.perf_counter()
+        results.append(task_fn(context, item))
+        if progress is not None:
+            progress(index + 1, total, time.perf_counter() - started)
+    return results
+
+
+def _spawn_initargs(task_fn, context, context_factory, factory_args):
+    """The initializer payload for a spawn pool, or None if it cannot be
+    pickled (live programs / setup closures with no factory)."""
+    if context_factory is not None:
+        initargs = (task_fn, None, context_factory, factory_args)
+    else:
+        initargs = (task_fn, context, None, ())
+    try:
+        pickle.dumps(initargs)
+    except Exception:
+        return None
+    return initargs
+
+
+def run_tasks(task_fn: Callable,
+              items: Iterable,
+              *,
+              jobs: Optional[int] = None,
+              context=None,
+              context_factory: Optional[Callable] = None,
+              factory_args: Tuple = (),
+              chunk_size: Optional[int] = None,
+              progress: Optional[Callable[[int, int, float], None]] = None
+              ) -> List:
+    """Map ``task_fn(context, item)`` over ``items``; results in item order.
+
+    ``task_fn`` must be a module-level function (it crosses the pool's
+    task queue by reference).  ``context`` is the shared heavy state —
+    delivered for free under fork; under spawn it is rebuilt per worker
+    via ``context_factory(*factory_args)`` (or pickled directly when no
+    factory is given).  Exceptions raised by any task propagate.
+    """
+    items = list(items)
+    jobs = min(resolve_jobs(jobs), len(items)) if items else 1
+    if jobs <= 1:
+        return _run_serial(task_fn, items, context, context_factory,
+                           factory_args, progress)
+
+    methods = multiprocessing.get_all_start_methods()
+    if "fork" in methods:
+        mp = multiprocessing.get_context("fork")
+        initargs = (task_fn, context, context_factory, factory_args)
+    else:  # pragma: no cover - exercised only on spawn-only platforms
+        mp = multiprocessing.get_context("spawn")
+        initargs = _spawn_initargs(task_fn, context, context_factory,
+                                   factory_args)
+        if initargs is None:
+            warnings.warn(
+                "parallel context is not picklable and fork is "
+                "unavailable; falling back to serial execution",
+                RuntimeWarning, stacklevel=2)
+            return _run_serial(task_fn, items, context, context_factory,
+                               factory_args, progress)
+
+    size = chunk_size if chunk_size else default_chunk_size(len(items), jobs)
+    indexed = list(enumerate(items))
+    chunks = [(cid, indexed[start:start + size])
+              for cid, start in enumerate(range(0, len(indexed), size))]
+
+    results: List = [None] * len(items)
+    done = 0
+    with mp.Pool(processes=min(jobs, len(chunks)),
+                 initializer=_init_worker, initargs=initargs) as pool:
+        for _, chunk_results, elapsed in pool.imap_unordered(
+                _run_chunk, chunks):
+            for index, value in chunk_results:
+                results[index] = value
+            done += len(chunk_results)
+            if progress is not None:
+                progress(done, len(items), elapsed)
+    return results

@@ -16,6 +16,7 @@ paper's PIN-based injector.
 from __future__ import annotations
 
 import enum
+import operator
 import random
 from typing import Any, Callable, Dict, List, Optional, Tuple
 
@@ -69,6 +70,32 @@ from repro.runtime.values import (
     int_mod,
     wrap_int,
 )
+
+#: Precomputed binop dispatch (interpreter hot path): one dict lookup +
+#: call instead of walking an if/elif chain per executed instruction.
+#: ``div``/``mod`` stay out of the table — they need the executing
+#: thread's id for the simulated-crash report.
+_BINOP_FUNCS: Dict[str, Callable[[Any, Any], Any]] = {
+    "add": operator.add,
+    "sub": operator.sub,
+    "mul": operator.mul,
+    "and": operator.and_,
+    "or": operator.or_,
+    "xor": operator.xor,
+    "shl": lambda lhs, rhs: lhs << (rhs & 63),
+    "shr": lambda lhs, rhs: lhs >> (rhs & 63),
+    "min": min,
+    "max": max,
+}
+
+_CMP_FUNCS: Dict[str, Callable[[Any, Any], bool]] = {
+    "eq": operator.eq,
+    "ne": operator.ne,
+    "lt": operator.lt,
+    "le": operator.le,
+    "gt": operator.gt,
+    "ge": operator.ge,
+}
 
 
 class ThreadStatus(enum.Enum):
@@ -263,10 +290,24 @@ class Machine:
         return result
 
     def _loop(self) -> None:
+        # Scheduler hot loop: every attribute that is invariant across
+        # quanta is hoisted to a local (the loop body runs once per
+        # scheduling quantum, tens of thousands of times per run).
         threads = self.threads
+        run_quantum = self._run_quantum
+        rng_random = self._rng.random
+        jitter = self._jitter
+        runnable_status = ThreadStatus.RUNNABLE
+        monitor = self.monitor
+        drain = monitor.drain if monitor is not None else None
+        batch = (monitor.metadata.config.monitor_batch
+                 if monitor is not None else 0)
+        halt = self.halt_on_detection
+        schedule_key = (lambda t:
+                        (t.cycles + rng_random() * jitter, t.tid))
         while True:
             runnable = [t for t in threads
-                        if t.status is ThreadStatus.RUNNABLE]
+                        if t.status is runnable_status]
             if not runnable:
                 if all(t.done for t in threads):
                     return
@@ -275,16 +316,12 @@ class Machine:
                         "no runnable thread: " + ", ".join(
                             "t%d=%s" % (t.tid, t.status.value) for t in threads))
                 continue
-            thread = min(
-                runnable,
-                key=lambda t: (t.cycles + self._rng.random() * self._jitter,
-                               t.tid))
-            self._run_quantum(thread)
-            if self.monitor is not None:
-                self.monitor.drain(self.monitor.metadata.config.monitor_batch)
-                if self.halt_on_detection and self.monitor.detected:
+            run_quantum(min(runnable, key=schedule_key))
+            if drain is not None:
+                drain(batch)
+                if halt and monitor.detected:
                     from repro.errors import DetectionRaised
-                    raise DetectionRaised(self.monitor.first_violation())
+                    raise DetectionRaised(monitor.first_violation())
 
     def _resolve_blocked(self) -> bool:
         """Try to unblock queue-stalled producers by draining the monitor."""
@@ -350,12 +387,9 @@ class Machine:
         rhs = self._value(frame, inst.rhs)
         op = inst.op
         is_float = inst.type is FLOAT
-        if op == "add":
-            value = lhs + rhs
-        elif op == "sub":
-            value = lhs - rhs
-        elif op == "mul":
-            value = lhs * rhs
+        fn = _BINOP_FUNCS.get(op)
+        if fn is not None:
+            value = fn(lhs, rhs)
         elif op == "div":
             if is_float:
                 lhs, rhs = float(lhs), float(rhs)
@@ -368,20 +402,6 @@ class Machine:
                 value = int_div(lhs, rhs, thread.tid)
         elif op == "mod":
             value = int_mod(lhs, rhs, thread.tid)
-        elif op == "and":
-            value = lhs & rhs
-        elif op == "or":
-            value = lhs | rhs
-        elif op == "xor":
-            value = lhs ^ rhs
-        elif op == "shl":
-            value = lhs << (rhs & 63)
-        elif op == "shr":
-            value = lhs >> (rhs & 63)
-        elif op == "min":
-            value = min(lhs, rhs)
-        elif op == "max":
-            value = max(lhs, rhs)
         else:  # pragma: no cover - constructor rejects unknown ops
             raise SimulationError("unknown binop %s" % op)
         if inst.type is INT:
@@ -412,19 +432,10 @@ class Machine:
 
     @staticmethod
     def evaluate_cmp(op: str, lhs, rhs) -> bool:
-        if op == "eq":
-            return lhs == rhs
-        if op == "ne":
-            return lhs != rhs
-        if op == "lt":
-            return lhs < rhs
-        if op == "le":
-            return lhs <= rhs
-        if op == "gt":
-            return lhs > rhs
-        if op == "ge":
-            return lhs >= rhs
-        raise SimulationError("unknown comparison %s" % op)
+        try:
+            return _CMP_FUNCS[op](lhs, rhs)
+        except KeyError:
+            raise SimulationError("unknown comparison %s" % op) from None
 
     def _exec_cast(self, thread: ThreadContext, frame: Frame, inst: Cast) -> None:
         value = self._value(frame, inst.value)

@@ -1,7 +1,7 @@
 """Seven SPLASH-2-style benchmark kernels (the paper's Table IV suite)."""
 
-from repro.splash2.common import KernelSpec, spmd_prologue
+from repro.splash2.common import KernelSetup, KernelSpec, spmd_prologue
 from repro.splash2.registry import KERNELS, PAPER_NAMES, all_kernels, kernel
 
-__all__ = ["KernelSpec", "spmd_prologue", "KERNELS", "PAPER_NAMES",
-           "all_kernels", "kernel"]
+__all__ = ["KernelSetup", "KernelSpec", "spmd_prologue", "KERNELS",
+           "PAPER_NAMES", "all_kernels", "kernel"]

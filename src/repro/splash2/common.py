@@ -58,13 +58,32 @@ class KernelSpec:
                                             entry=self.entry)
         return self._program
 
-    def setup(self, nthreads: int, seed: int = 2012) -> Callable[[SharedMemory], None]:
-        """A setup callable bound to (nthreads, seed) — pass to run()."""
-        def apply(memory: SharedMemory) -> None:
-            rng = random.Random(seed)
-            memory.set_scalar("nprocs", nthreads)
-            self.setup_fn(memory, nthreads, rng)
-        return apply
+    def setup(self, nthreads: int, seed: int = 2012) -> "KernelSetup":
+        """A setup callable bound to (nthreads, seed) — pass to run().
+
+        Returns a :class:`KernelSetup` rather than a closure so campaign
+        workloads can cross a ``spawn`` process boundary (closures don't
+        pickle; a named kernel reference does).
+        """
+        return KernelSetup(kernel=self.name, nthreads=nthreads, seed=seed)
+
+
+@dataclass(frozen=True)
+class KernelSetup:
+    """Picklable input generator: resolves its kernel by name at call
+    time, so only ``(kernel, nthreads, seed)`` travels between
+    processes."""
+
+    kernel: str
+    nthreads: int
+    seed: int = 2012
+
+    def __call__(self, memory: SharedMemory) -> None:
+        from repro.splash2.registry import kernel as lookup
+        spec = lookup(self.kernel)
+        rng = random.Random(self.seed)
+        memory.set_scalar("nprocs", self.nthreads)
+        spec.setup_fn(memory, self.nthreads, rng)
 
 
 def spmd_prologue(use_counter: bool = False) -> str:

@@ -52,6 +52,7 @@ class TestTable5:
         assert "similar" in text
 
 
+@pytest.mark.slow
 class TestFig6And7:
     def test_fig6_small(self):
         result = fig6.compute(thread_counts=(2, 8))
@@ -70,6 +71,7 @@ class TestFig6And7:
         assert "Figure 7" in fig7.render(result)
 
 
+@pytest.mark.slow
 class TestCoverage:
     def test_single_cell(self):
         result = compute_coverage(FaultType.BRANCH_FLIP,
@@ -83,6 +85,7 @@ class TestCoverage:
         assert "Figure 8" in text
 
 
+@pytest.mark.slow
 class TestFalsePositives:
     def test_small_trial_is_clean(self):
         result = false_positives.compute(runs=3, nthreads=4)

@@ -14,9 +14,14 @@ from __future__ import annotations
 
 import random
 
+import pytest
 from hypothesis import given, settings, strategies as st
 
 from repro.runtime import ParallelProgram
+
+#: Hypothesis-driven campaign over generated programs — deselect with
+#: ``-m "not slow"`` for a fast inner loop.
+pytestmark = pytest.mark.slow
 
 PRELUDE = """
 global int id;

@@ -14,6 +14,10 @@ from repro.runtime import ParallelProgram
 from repro.splash2 import KERNELS
 from tests.conftest import FIGURE_1, figure1_setup
 
+#: Full-suite campaign over every kernel x thread count x schedule —
+#: deselect with ``-m "not slow"`` for a fast inner loop.
+pytestmark = pytest.mark.slow
+
 KERNEL_NAMES = sorted(KERNELS)
 
 

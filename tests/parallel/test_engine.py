@@ -1,0 +1,112 @@
+"""The pool engine: ordering, chunking, context delivery, fallbacks."""
+
+import pytest
+
+from repro.parallel import available_cpus, resolve_jobs, run_tasks
+from repro.parallel.engine import default_chunk_size
+
+
+def _square(ctx, item):
+    return item * item
+
+
+def _add_context(ctx, item):
+    return ctx + item
+
+
+def _explode(ctx, item):
+    if item == 3:
+        raise ValueError("item 3 is cursed")
+    return item
+
+
+def _make_offset(base):
+    return base + 100
+
+
+class TestResolveJobs:
+    def test_default_is_serial(self, monkeypatch):
+        monkeypatch.delenv("REPRO_JOBS", raising=False)
+        assert resolve_jobs(None) == 1
+
+    def test_env_var(self, monkeypatch):
+        monkeypatch.setenv("REPRO_JOBS", "3")
+        assert resolve_jobs(None) == 3
+
+    def test_explicit_overrides_env(self, monkeypatch):
+        monkeypatch.setenv("REPRO_JOBS", "3")
+        assert resolve_jobs(2) == 2
+
+    def test_zero_means_all_cores(self, monkeypatch):
+        monkeypatch.delenv("REPRO_JOBS", raising=False)
+        assert resolve_jobs(0) == available_cpus()
+
+    def test_malformed_env_var_names_itself(self, monkeypatch):
+        monkeypatch.setenv("REPRO_JOBS", "abc")
+        with pytest.raises(ValueError, match="REPRO_JOBS"):
+            resolve_jobs(None)
+
+
+class TestChunking:
+    def test_four_chunks_per_worker(self):
+        assert default_chunk_size(64, 4) == 4
+        assert default_chunk_size(1, 8) == 1
+        assert default_chunk_size(0, 4) == 1
+
+
+class TestSerial:
+    def test_order_and_results(self):
+        assert run_tasks(_square, range(6), jobs=1) == [0, 1, 4, 9, 16, 25]
+
+    def test_context_passed(self):
+        assert run_tasks(_add_context, [1, 2], jobs=1, context=10) == [11, 12]
+
+    def test_factory_builds_context_when_missing(self):
+        assert run_tasks(_add_context, [1], jobs=1,
+                         context_factory=_make_offset,
+                         factory_args=(5,)) == [106]
+
+    def test_progress_fires_per_item(self):
+        seen = []
+        run_tasks(_square, range(4), jobs=1,
+                  progress=lambda done, total, secs: seen.append((done, total)))
+        assert seen == [(1, 4), (2, 4), (3, 4), (4, 4)]
+
+    def test_errors_propagate(self):
+        with pytest.raises(ValueError, match="cursed"):
+            run_tasks(_explode, range(5), jobs=1)
+
+
+class TestPool:
+    def test_results_in_item_order(self):
+        assert run_tasks(_square, range(20), jobs=2) == [i * i
+                                                         for i in range(20)]
+
+    def test_order_independent_of_chunk_size(self):
+        expected = [i * i for i in range(11)]
+        for chunk_size in (1, 2, 5, 100):
+            assert run_tasks(_square, range(11), jobs=3,
+                             chunk_size=chunk_size) == expected
+
+    def test_live_context_reaches_workers(self):
+        # fork delivers the parent's context object without pickling
+        assert run_tasks(_add_context, range(5), jobs=2,
+                         context=1000) == [1000 + i for i in range(5)]
+
+    def test_progress_counts_reach_total(self):
+        seen = []
+        run_tasks(_square, range(12), jobs=2, chunk_size=4,
+                  progress=lambda done, total, secs: seen.append((done, total)))
+        assert [total for _, total in seen] == [12, 12, 12]
+        assert sorted(done for done, _ in seen)[-1] == 12
+
+    def test_errors_propagate_from_workers(self):
+        with pytest.raises(ValueError, match="cursed"):
+            run_tasks(_explode, range(5), jobs=2, chunk_size=1)
+
+    def test_single_item_stays_serial(self):
+        # len(items) <= 1 short-circuits to the in-process loop
+        assert run_tasks(_square, [7], jobs=8) == [49]
+
+    def test_empty_items(self):
+        assert run_tasks(_square, [], jobs=4) == []

@@ -1,0 +1,78 @@
+"""Seed-derivation stability — the foundation of cross-process
+determinism.  The golden values pin the derivation across interpreter
+invocations and ``PYTHONHASHSEED`` settings: if any of them moves, every
+previously recorded fault plan silently changes."""
+
+import random
+
+from repro.faults import FaultType, injection_seed, plan_injection
+from repro.parallel import derive_seed, stable_hash
+
+
+class TestStableHash:
+    def test_known_values(self):
+        # CRC-32 of the UTF-8 bytes; hash() would be salted per-process.
+        assert stable_hash("branch-flip") == 3286820717
+        assert stable_hash("") == 0
+
+    def test_differs_by_input(self):
+        assert stable_hash("a") != stable_hash("b")
+
+
+class TestDeriveSeed:
+    def test_golden_values(self):
+        assert derive_seed(0) == 7881388936124425723
+        assert (derive_seed(2012, "injection", "branch-flip", 0)
+                == 6928784301494346562)
+        assert (derive_seed(2012, "injection", "branch-flip", 1)
+                == 13591448566928920128)
+
+    def test_sensitive_to_every_component(self):
+        base = derive_seed(7, "x", 3)
+        assert derive_seed(8, "x", 3) != base
+        assert derive_seed(7, "y", 3) != base
+        assert derive_seed(7, "x", 4) != base
+
+    def test_component_boundaries_are_unambiguous(self):
+        assert derive_seed(1, "ab", "c") != derive_seed(1, "a", "bc")
+        assert derive_seed(1, "a", 12) != derive_seed(1, "a12")
+
+    def test_accepts_scalars(self):
+        assert derive_seed(1, True) != derive_seed(1, 1)
+        assert derive_seed(1, 2.5) != derive_seed(1, 2)
+        assert derive_seed(1, -3) != derive_seed(1, 3)
+
+    def test_64_bit_range(self):
+        for index in range(50):
+            seed = derive_seed(99, "t", index)
+            assert 0 <= seed < 2 ** 64
+
+
+class TestInjectionSeeds:
+    def test_per_index_independence(self):
+        """Counter-mode derivation: each index's seed does not depend on
+        any other index having been planned — the partitioning
+        invariance the pool engine relies on."""
+        forward = [injection_seed(5, FaultType.BRANCH_FLIP, i)
+                   for i in range(10)]
+        shuffled_order = list(range(10))
+        random.Random(0).shuffle(shuffled_order)
+        by_any_order = {i: injection_seed(5, FaultType.BRANCH_FLIP, i)
+                        for i in shuffled_order}
+        assert forward == [by_any_order[i] for i in range(10)]
+        assert len(set(forward)) == len(forward)
+
+    def test_fault_types_get_distinct_streams(self):
+        assert (injection_seed(5, FaultType.BRANCH_FLIP, 0)
+                != injection_seed(5, FaultType.BRANCH_CONDITION, 0))
+
+    def test_plan_injection_is_pure(self):
+        counts = {1: 40, 2: 35, 3: 0, 4: 12}
+        a = plan_injection(FaultType.BRANCH_FLIP, counts, 77, 3)
+        b = plan_injection(FaultType.BRANCH_FLIP, counts, 77, 3)
+        assert a == b
+        assert a.thread_id in (1, 2, 4)
+        assert 1 <= a.branch_index <= counts[a.thread_id]
+
+    def test_plan_injection_empty_counts(self):
+        assert plan_injection(FaultType.BRANCH_FLIP, {1: 0}, 77, 0) is None
