@@ -14,6 +14,8 @@ Override the worker count with ``REPRO_JOBS`` (0 = all cores).
 import os
 import time
 
+import pytest
+
 from repro.experiments import fig8
 from repro.experiments.coverage import compute_coverage
 from repro.faults import FaultType
@@ -57,7 +59,11 @@ def test_campaign_parallel_speedup(benchmark, save_result):
     save_result("campaign_parallel", "\n".join(lines))
     save_result("fig8_parallel_sample", fig8.render(pooled))
 
-    if jobs >= 4 and available_cpus() >= 4:
-        assert speedup >= 2.5, (
-            "expected >= 2.5x on %d cores, measured %.2fx"
-            % (available_cpus(), speedup))
+    if jobs < 4 or available_cpus() < 4:
+        pytest.skip(
+            "speedup assertion needs >= 4 cores and jobs >= 4 "
+            "(have %d cores, jobs=%d); results recorded above"
+            % (available_cpus(), jobs))
+    assert speedup >= 2.5, (
+        "expected >= 2.5x on %d cores, measured %.2fx"
+        % (available_cpus(), speedup))

@@ -86,7 +86,7 @@ def main():
 
     for fault_type in (FaultType.BRANCH_FLIP, FaultType.BRANCH_CONDITION):
         stats = bw.inject(fault_type, nthreads=NTHREADS, injections=40,
-                          setup=fill_inputs, output_globals=("hist",))
+                          setup=fill_inputs, output_globals=("hist",)).stats
         print("%s: coverage %.0f%% -> %.0f%% with BLOCKWATCH"
               % (fault_type.value, 100 * stats.coverage_original,
                  100 * stats.coverage_protected))

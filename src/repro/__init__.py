@@ -10,36 +10,52 @@ Layers (bottom-up):
 ``repro.runtime``     simulated 32-core SPMD machine + cycle cost model
 ``repro.monitor``     lock-free queues, two-level table, category checks
 ``repro.faults``      PIN-analogue single-bit fault injector + campaigns
+``repro.telemetry``   zero-cost-when-disabled metrics + JSONL event traces
 ``repro.splash2``     seven SPLASH-2-style benchmark kernels
 ``repro.experiments`` one harness per paper table/figure
 
 Quickstart::
 
-    from repro import BlockWatch, FaultType
+    from repro import BlockWatch, FaultType, Telemetry
 
     bw = BlockWatch(source)               # compile, analyze, instrument
-    result = bw.run(nthreads=8, setup=fill_inputs)
-    stats = bw.inject(FaultType.BRANCH_FLIP, injections=100,
-                      setup=fill_inputs, output_globals=("result",))
+    result = bw.run(nthreads=8, setup=fill_inputs, telemetry=Telemetry())
+    print(result.telemetry.format_summary())
+
+    campaign = bw.inject(FaultType.BRANCH_FLIP, injections=100,
+                         setup=fill_inputs, output_globals=("result",),
+                         telemetry=True)
+    print(campaign.stats.coverage_protected)
+    campaign.write_trace("campaign.jsonl")
 """
 
 from repro.analysis import AnalysisConfig, Category, analyze_module
 from repro.api import BlockWatch, protect
-from repro.faults import CampaignConfig, FaultType, Outcome, run_campaign
+from repro.faults import (
+    CampaignConfig,
+    CampaignResult,
+    CampaignStats,
+    FaultType,
+    Outcome,
+    run_campaign,
+)
 from repro.frontend import compile_source
 from repro.instrument import InstrumentConfig, instrument_module
-from repro.monitor import MODE_FEED, MODE_FULL, Monitor
+from repro.monitor import MODE_FEED, MODE_FULL, Monitor, MonitorMode
 from repro.runtime import CostModel, Machine, ParallelProgram, RunConfig, RunResult
+from repro.telemetry import Telemetry, TelemetrySnapshot
 
-__version__ = "1.0.0"
+__version__ = "1.1.0"
 
 __all__ = [
     "AnalysisConfig", "Category", "analyze_module",
     "BlockWatch", "protect",
-    "CampaignConfig", "FaultType", "Outcome", "run_campaign",
+    "CampaignConfig", "CampaignResult", "CampaignStats",
+    "FaultType", "Outcome", "run_campaign",
     "compile_source",
     "InstrumentConfig", "instrument_module",
-    "MODE_FEED", "MODE_FULL", "Monitor",
+    "MODE_FEED", "MODE_FULL", "Monitor", "MonitorMode",
     "CostModel", "Machine", "ParallelProgram", "RunConfig", "RunResult",
+    "Telemetry", "TelemetrySnapshot",
     "__version__",
 ]

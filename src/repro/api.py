@@ -12,9 +12,12 @@ This is the API a downstream user starts with::
 
     overhead = bw.overhead(nthreads=32)    # paper Figure 6 measurement
 
-    stats = bw.inject(FaultType.BRANCH_FLIP, nthreads=4, injections=100,
-                      setup=fill_inputs, output_globals=("result",))
-    print(stats.coverage_protected)
+    campaign = bw.inject(FaultType.BRANCH_FLIP, nthreads=4, injections=100,
+                         setup=fill_inputs, output_globals=("result",),
+                         telemetry=True)
+    print(campaign.stats.coverage_protected)
+    print(campaign.telemetry.format_summary())
+    campaign.write_trace("campaign.jsonl")
 
 Everything here delegates to the layered modules (frontend → analysis →
 instrument → runtime → monitor → faults); use those directly for finer
@@ -23,7 +26,7 @@ control.
 
 from __future__ import annotations
 
-from typing import Callable, Optional, Sequence
+from typing import Callable, Optional, Sequence, Union
 
 from repro.analysis import (
     AnalysisConfig,
@@ -32,11 +35,17 @@ from repro.analysis import (
     category_statistics,
     format_table,
 )
-from repro.faults import CampaignConfig, CampaignStats, FaultType, run_campaign
+from repro.faults import (
+    CampaignConfig,
+    CampaignResult,
+    FaultType,
+    run_campaign,
+)
 from repro.instrument import InstrumentConfig
-from repro.monitor import MODE_FULL
+from repro.monitor import MonitorMode
 from repro.runtime import ParallelProgram, RunResult
 from repro.runtime.memory import SharedMemory
+from repro.telemetry import Telemetry
 
 Setup = Optional[Callable[[SharedMemory], None]]
 
@@ -91,11 +100,16 @@ class BlockWatch:
     # -- execution ---------------------------------------------------------
 
     def run(self, nthreads: int, setup: Setup = None, seed: int = 0,
-            monitor_mode: str = MODE_FULL, **kwargs) -> RunResult:
-        """Run the protected program."""
+            monitor_mode: Union[MonitorMode, str] = MonitorMode.FULL,
+            telemetry: Optional[Telemetry] = None, **kwargs) -> RunResult:
+        """Run the protected program.
+
+        Pass a :class:`repro.Telemetry` collector to get metrics and a
+        structured event trace back on ``result.telemetry``.
+        """
         return self.program.run_protected(
             nthreads, seed=seed, setup=setup, monitor_mode=monitor_mode,
-            **kwargs)
+            telemetry=telemetry, **kwargs)
 
     def run_baseline(self, nthreads: int, setup: Setup = None,
                      seed: int = 0, **kwargs) -> RunResult:
@@ -114,19 +128,32 @@ class BlockWatch:
                injections: int = 100, setup: Setup = None,
                output_globals: Sequence[str] = (),
                seed: int = 2012, quantize_bits: int = 0,
-               jobs: Optional[int] = None) -> CampaignStats:
-        """Run a fault-injection campaign; returns aggregated statistics.
+               jobs: Optional[int] = None,
+               config: Optional[CampaignConfig] = None,
+               telemetry: bool = False,
+               keep_records: bool = False) -> CampaignResult:
+        """Run a fault-injection campaign; returns the full
+        :class:`CampaignResult` (stats on ``.stats``, merged telemetry
+        and trace on ``.telemetry`` when ``telemetry=True``).
 
-        ``jobs`` fans the injections out across worker processes
-        (``None`` reads ``REPRO_JOBS``, ``0`` uses every core); the
-        statistics are identical to a serial run for the same seed.
+        A prebuilt ``config`` overrides the individual campaign knobs
+        (``nthreads``/``injections``/``seed``/``output_globals``/
+        ``quantize_bits``).  ``jobs`` fans the injections out across
+        worker processes (``None`` reads ``REPRO_JOBS``, ``0`` uses
+        every core); everything except wall-clock timers is identical
+        to a serial run for the same seed.
+
+        Returned results still answer for :class:`CampaignStats`
+        attributes (the old return shape) with a DeprecationWarning.
         """
-        config = CampaignConfig(
-            nthreads=nthreads, injections=injections, seed=seed,
-            output_globals=tuple(output_globals),
-            quantize_bits=quantize_bits)
+        if config is None:
+            config = CampaignConfig(
+                nthreads=nthreads, injections=injections, seed=seed,
+                output_globals=tuple(output_globals),
+                quantize_bits=quantize_bits)
         return run_campaign(self.program, fault_type, config,
-                            setup=setup, jobs=jobs).stats
+                            setup=setup, jobs=jobs, telemetry=telemetry,
+                            keep_records=keep_records)
 
 
 def protect(source: str, **kwargs) -> BlockWatch:

@@ -7,19 +7,23 @@ Subcommands::
     repro-minic report  prog.mc               # branch classification
     repro-minic run     prog.mc -t 4          # execute (protected)
     repro-minic run     prog.mc -t 4 --baseline
+    repro-minic trace   prog.mc -t 4 -o run.jsonl   # run + JSONL trace
     repro-minic inject  prog.mc -t 4 -n 100 --fault flip -j 4
+    repro-minic inject  kernel:radix -n 50 --trace campaign.jsonl
 
 Programs receive ``nprocs`` automatically; other inputs can be seeded
 with ``--set name=value`` (scalars) and ``--fill array=v0,v1,...``.
-Output arrays for SDC comparison in ``inject`` are chosen with
-``--outputs a,b``.
+``kernel:NAME`` instead of a file path selects a built-in SPLASH-2-style
+kernel (its canonical inputs and output globals come along).  Output
+arrays for SDC comparison in ``inject`` are chosen with ``--outputs
+a,b``; ``--trace out.jsonl`` records a telemetry event trace.
 """
 
 from __future__ import annotations
 
 import argparse
 import sys
-from typing import Callable, List
+from typing import Callable, List, Optional
 
 from repro.analysis import format_table
 from repro.api import BlockWatch
@@ -28,13 +32,33 @@ from repro.frontend import compile_source
 from repro.ir import print_module
 from repro.monitor import MODE_FULL
 from repro.runtime.memory import SharedMemory
+from repro.telemetry import Telemetry, write_trace
+
+KERNEL_PREFIX = "kernel:"
 
 
 def _load_source(path: str) -> str:
+    if path.startswith(KERNEL_PREFIX):
+        return _kernel_spec(path).source
     if path == "-":
         return sys.stdin.read()
     with open(path) as handle:
         return handle.read()
+
+
+def _kernel_spec(path: str):
+    from repro.splash2 import kernel
+    try:
+        return kernel(path[len(KERNEL_PREFIX):])
+    except KeyError as exc:
+        raise SystemExit(str(exc))
+
+
+def _make_blockwatch(args) -> BlockWatch:
+    if args.program.startswith(KERNEL_PREFIX):
+        spec = _kernel_spec(args.program)
+        return BlockWatch(spec.source, name=spec.name, entry=spec.entry)
+    return BlockWatch(_load_source(args.program), entry=args.entry)
 
 
 def _parse_assignments(pairs: List[str]):
@@ -58,8 +82,11 @@ def _parse_fills(pairs: List[str]):
     return arrays
 
 
-def make_setup(nthreads: int, scalars, arrays) -> Callable[[SharedMemory], None]:
+def make_setup(nthreads: int, scalars, arrays,
+               kernel_setup=None) -> Callable[[SharedMemory], None]:
     def apply(memory: SharedMemory) -> None:
+        if kernel_setup is not None:
+            kernel_setup(memory)
         if "nprocs" in memory.scalars:
             memory.set_scalar("nprocs", nthreads)
         for name, value in scalars.items():
@@ -69,6 +96,14 @@ def make_setup(nthreads: int, scalars, arrays) -> Callable[[SharedMemory], None]
     return apply
 
 
+def _make_run_setup(args) -> Callable[[SharedMemory], None]:
+    kernel_setup = None
+    if args.program.startswith(KERNEL_PREFIX):
+        kernel_setup = _kernel_spec(args.program).setup(args.threads)
+    return make_setup(args.threads, _parse_assignments(args.set),
+                      _parse_fills(args.fill), kernel_setup=kernel_setup)
+
+
 def cmd_dump(args) -> int:
     module = compile_source(_load_source(args.program), "program")
     print(print_module(module))
@@ -76,21 +111,24 @@ def cmd_dump(args) -> int:
 
 
 def cmd_report(args) -> int:
-    bw = BlockWatch(_load_source(args.program), entry=args.entry)
+    bw = _make_blockwatch(args)
     print(bw.report())
     return 0
 
 
-def cmd_run(args) -> int:
-    source = _load_source(args.program)
-    bw = BlockWatch(source, entry=args.entry)
-    setup = make_setup(args.threads, _parse_assignments(args.set),
-                       _parse_fills(args.fill))
+def _run_once(args, trace_path: Optional[str]):
+    """Shared body of ``run`` and ``trace``: execute + report one run."""
+    bw = _make_blockwatch(args)
+    setup = _make_run_setup(args)
+    telemetry = None
+    if trace_path is not None:
+        telemetry = Telemetry(context={"inj": -1, "seed": args.seed})
     if args.baseline:
-        result = bw.run_baseline(args.threads, setup=setup, seed=args.seed)
+        result = bw.run_baseline(args.threads, setup=setup, seed=args.seed,
+                                 telemetry=telemetry)
     else:
         result = bw.run(args.threads, setup=setup, seed=args.seed,
-                        monitor_mode=MODE_FULL)
+                        monitor_mode=MODE_FULL, telemetry=telemetry)
     print("status: %s" % result.status)
     if result.failure_message:
         print("failure: %s" % result.failure_message)
@@ -106,25 +144,49 @@ def cmd_run(args) -> int:
                            if name in result.memory.arrays
                            else result.memory.get_scalar(name)))
     print("parallel-section cycles: %.0f" % result.parallel_time)
+    if result.telemetry is not None:
+        print()
+        print("telemetry (steps/s: %.0f):"
+              % result.telemetry.rate("interp.steps", "interp.wall_ns"))
+        print(result.telemetry.format_summary())
+        if trace_path is not None:
+            count = write_trace(trace_path, result.telemetry.events)
+            print("trace: %d events -> %s" % (count, trace_path))
+    return result
+
+
+def cmd_run(args) -> int:
+    result = _run_once(args, trace_path=args.trace)
+    return 0 if result.status == "ok" and not result.detected else 1
+
+
+def cmd_trace(args) -> int:
+    result = _run_once(args, trace_path=args.out)
     return 0 if result.status == "ok" and not result.detected else 1
 
 
 def cmd_inject(args) -> int:
-    source = _load_source(args.program)
-    bw = BlockWatch(source, entry=args.entry)
-    setup = make_setup(args.threads, _parse_assignments(args.set),
-                       _parse_fills(args.fill))
+    bw = _make_blockwatch(args)
+    setup = _make_run_setup(args)
     fault = (FaultType.BRANCH_FLIP if args.fault == "flip"
              else FaultType.BRANCH_CONDITION)
     outputs = tuple(n for n in args.outputs.split(",") if n)
-    stats = bw.inject(fault, nthreads=args.threads,
-                      injections=args.injections, setup=setup,
-                      output_globals=outputs, seed=args.seed,
-                      quantize_bits=args.quantize, jobs=args.jobs)
+    if not outputs and args.program.startswith(KERNEL_PREFIX):
+        outputs = tuple(_kernel_spec(args.program).output_globals)
+    result = bw.inject(fault, nthreads=args.threads,
+                       injections=args.injections, setup=setup,
+                       output_globals=outputs, seed=args.seed,
+                       quantize_bits=args.quantize, jobs=args.jobs,
+                       telemetry=args.trace is not None)
+    stats = result.stats
     print(format_table(
         stats.SUMMARY_HEADERS, [stats.summary_row()],
         title="Campaign: %d x %s on %s" % (args.injections, fault.value,
                                            args.program)))
+    if args.trace is not None:
+        count = result.write_trace(args.trace)
+        print("trace: %d events -> %s" % (count, args.trace))
+        print(result.telemetry.format_summary())
     return 0
 
 
@@ -156,13 +218,27 @@ def main(argv=None) -> int:
     common(p_report, with_run_opts=False)
     p_report.set_defaults(func=cmd_report)
 
+    def run_opts(p):
+        p.add_argument("--baseline", action="store_true",
+                       help="run the uninstrumented image")
+        p.add_argument("--show", action="append", default=[],
+                       metavar="GLOBAL", help="print a global after the run")
+
     p_run = sub.add_parser("run", help="execute the program")
     common(p_run)
-    p_run.add_argument("--baseline", action="store_true",
-                       help="run the uninstrumented image")
-    p_run.add_argument("--show", action="append", default=[],
-                       metavar="GLOBAL", help="print a global after the run")
+    run_opts(p_run)
+    p_run.add_argument("--trace", default=None, metavar="OUT.JSONL",
+                       help="collect telemetry and write the event trace")
     p_run.set_defaults(func=cmd_run)
+
+    p_trace = sub.add_parser(
+        "trace", help="execute the program with telemetry + JSONL trace")
+    common(p_trace)
+    run_opts(p_trace)
+    p_trace.add_argument("-o", "--out", default="trace.jsonl",
+                         metavar="OUT.JSONL",
+                         help="trace destination (default: trace.jsonl)")
+    p_trace.set_defaults(func=cmd_trace)
 
     p_inject = sub.add_parser("inject", help="fault-injection campaign")
     common(p_inject)
@@ -177,6 +253,9 @@ def main(argv=None) -> int:
     p_inject.add_argument("-j", "--jobs", type=int, default=None,
                           help="worker processes for the campaign (0 = all "
                                "cores; default: $REPRO_JOBS or serial)")
+    p_inject.add_argument("--trace", default=None, metavar="OUT.JSONL",
+                          help="collect campaign telemetry and write the "
+                               "merged event trace")
     p_inject.set_defaults(func=cmd_inject)
 
     args = parser.parse_args(argv)

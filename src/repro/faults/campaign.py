@@ -19,8 +19,10 @@ stays on the plain in-process loop.
 from __future__ import annotations
 
 import random
+import time
+import warnings
 from dataclasses import dataclass, field
-from typing import Callable, Dict, Optional, Sequence, Tuple
+from typing import Callable, Dict, List, Optional, Sequence, Tuple
 
 from repro.faults.injector import InjectingHook, plan_fault
 from repro.faults.models import FaultSpec, FaultType
@@ -30,6 +32,8 @@ from repro.parallel import derive_seed, run_tasks
 from repro.runtime.interpreter import RunResult
 from repro.runtime.memory import SharedMemory
 from repro.runtime.program import ParallelProgram, RunConfig
+from repro.telemetry import Telemetry, TelemetrySnapshot
+from repro.telemetry import write_trace as _write_trace_file
 
 
 @dataclass
@@ -63,13 +67,58 @@ class InjectionRecord:
     baseline_outcome: Outcome
     flipped_branch: bool
     detail: str = ""
+    #: Per-injection metrics + trace events (None unless the campaign
+    #: ran with telemetry); picklable, so it crosses worker boundaries.
+    telemetry: Optional[TelemetrySnapshot] = None
 
 
 @dataclass
 class CampaignResult:
+    """Everything one campaign produced.
+
+    ``stats`` is the aggregated census; ``telemetry`` (when the campaign
+    ran with ``telemetry=True``) is the bit-identical-under-partitioning
+    merge of the golden run's and every injection's snapshot, and carries
+    the full event trace.
+
+    For one deprecation cycle the result also answers for the attributes
+    of :class:`CampaignStats` (``run_campaign``/``BlockWatch.inject``
+    used to return the bare stats object), with a warning.
+    """
+
     stats: CampaignStats
     records: list = field(default_factory=list)
     golden: Optional[RunResult] = None
+    telemetry: Optional[TelemetrySnapshot] = None
+
+    @property
+    def trace_events(self) -> List[dict]:
+        """The campaign's merged events in canonical (inj, seq) order."""
+        return list(self.telemetry.events) if self.telemetry else []
+
+    def write_trace(self, path: str) -> int:
+        """Serialize the merged event trace as JSONL; returns the event
+        count.  Requires the campaign to have run with telemetry."""
+        if self.telemetry is None:
+            raise ValueError(
+                "campaign ran without telemetry; pass telemetry=True to "
+                "run_campaign()/BlockWatch.inject() to record a trace")
+        return _write_trace_file(path, self.telemetry.events)
+
+    def __getattr__(self, name: str):
+        # Deprecation shim for the pre-telemetry return shape (a bare
+        # CampaignStats).  Dunders are excluded so pickling/copying of
+        # the dataclass itself stays untouched.
+        if not name.startswith("_"):
+            stats = self.__dict__.get("stats")
+            if stats is not None and hasattr(stats, name):
+                warnings.warn(
+                    "accessing %r directly on CampaignResult is "
+                    "deprecated; use the .stats field" % name,
+                    DeprecationWarning, stacklevel=2)
+                return getattr(stats, name)
+        raise AttributeError(
+            "%r object has no attribute %r" % (type(self).__name__, name))
 
 
 def quantize_signature(signature, bits: int):
@@ -98,10 +147,12 @@ def quantize_signature(signature, bits: int):
 
 
 def golden_run(program: ParallelProgram, config: CampaignConfig,
-               setup: Optional[Callable[[SharedMemory], None]]) -> RunResult:
+               setup: Optional[Callable[[SharedMemory], None]],
+               telemetry: Optional[Telemetry] = None) -> RunResult:
     result = program.run_protected(
         config.nthreads, seed=config.seed, setup=setup,
-        monitor_mode=MODE_FULL, quantum=config.quantum)
+        monitor_mode=MODE_FULL, quantum=config.quantum,
+        telemetry=telemetry)
     if result.status != "ok":
         raise RuntimeError("golden run failed: %s (%s)"
                            % (result.status, result.failure_message))
@@ -144,34 +195,67 @@ class _CampaignContext:
     golden_signature: Tuple
     branch_counts: Dict[int, int]
     max_steps: int
+    #: Collect per-injection telemetry snapshots + trace events.
+    telemetry: bool = False
 
 
 def _campaign_context_from_source(source: str, name: str, entry: str,
                                   fault_type: FaultType,
                                   config: CampaignConfig, setup,
                                   golden_signature, branch_counts,
-                                  max_steps) -> _CampaignContext:
+                                  max_steps, telemetry=False
+                                  ) -> _CampaignContext:
     """Spawn-pool factory: compile + analyze + instrument once per worker
     process and reuse it for every injection the worker executes."""
     program = ParallelProgram(source, name, entry=entry)
     return _CampaignContext(program=program, fault_type=fault_type,
                             config=config, setup=setup,
                             golden_signature=golden_signature,
-                            branch_counts=branch_counts, max_steps=max_steps)
+                            branch_counts=branch_counts, max_steps=max_steps,
+                            telemetry=telemetry)
 
 
 def _injection_task(ctx: _CampaignContext, index: int) -> InjectionRecord:
-    """Plan and execute one injection; returns a picklable record."""
+    """Plan and execute one injection; returns a picklable record.
+
+    With telemetry on, the injection gets its own collector whose events
+    are stamped with ``(inj=index, seed=derived seed)`` — the tags that
+    make traces from any worker partitioning merge into the same stream.
+    Wall-clock goes into the ``campaign.injection_ns`` timer only, never
+    into events, so the event stream stays deterministic.
+    """
     spec = plan_injection(ctx.fault_type, ctx.branch_counts,
                           ctx.config.seed, index)
     if spec is None:
         raise RuntimeError("program executed no branches; nothing to inject")
+    tel = None
+    started = 0
+    if ctx.telemetry:
+        tel = Telemetry(context={
+            "inj": index,
+            "seed": injection_seed(ctx.config.seed, ctx.fault_type, index)})
+        tel.event("injection_start", fault=ctx.fault_type.value,
+                  target_thread=spec.thread_id,
+                  target_branch=spec.branch_index)
+        started = time.perf_counter_ns()
     outcome, baseline_outcome, hook = run_one_injection(
         ctx.program, spec, ctx.config, ctx.setup, ctx.golden_signature,
-        ctx.max_steps)
-    return InjectionRecord(
+        ctx.max_steps, telemetry=tel)
+    record = InjectionRecord(
         spec=spec, outcome=outcome, baseline_outcome=baseline_outcome,
         flipped_branch=hook.flipped_branch, detail=hook.detail)
+    if tel is not None:
+        tel.add_time_ns("campaign.injection_ns",
+                        time.perf_counter_ns() - started)
+        tel.count("campaign.injections")
+        tel.count("campaign.outcome.%s" % outcome.value)
+        tel.count("campaign.baseline.%s" % baseline_outcome.value)
+        tel.event("injection_end", outcome=outcome.value,
+                  baseline_outcome=baseline_outcome.value,
+                  activated=outcome is not Outcome.NOT_ACTIVATED,
+                  flipped=hook.flipped_branch)
+        record.telemetry = tel.snapshot()
+    return record
 
 
 def run_campaign(program: ParallelProgram,
@@ -180,9 +264,10 @@ def run_campaign(program: ParallelProgram,
                  setup: Optional[Callable[[SharedMemory], None]] = None,
                  keep_records: bool = False,
                  jobs: Optional[int] = None,
-                 progress: Optional[Callable[[int, int, float], None]] = None
+                 progress: Optional[Callable[[int, int, float], None]] = None,
+                 telemetry: bool = False
                  ) -> CampaignResult:
-    """Execute one full campaign and return aggregated statistics.
+    """Execute one full campaign and return a :class:`CampaignResult`.
 
     ``jobs`` fans the independent injections out across a process pool
     (``None`` reads ``REPRO_JOBS``; ``1`` runs today's serial loop; ``0``
@@ -191,8 +276,19 @@ def run_campaign(program: ParallelProgram,
     re-assembled in index order, and :class:`CampaignStats` aggregation
     is order-independent.  ``progress(done, total, chunk_seconds)`` fires
     after every completed chunk.
+
+    ``telemetry=True`` additionally collects metrics and a structured
+    event trace: the golden run and every injection get a collector, the
+    per-worker snapshots merge into ``result.telemetry``, and everything
+    except wall-clock timers is bit-identical whatever ``jobs`` was.
     """
-    golden = golden_run(program, config, setup)
+    parent_tel = None
+    if telemetry:
+        parent_tel = Telemetry(context={"inj": -1, "seed": config.seed})
+        parent_tel.event("campaign_start", fault=fault_type.value,
+                         injections=config.injections,
+                         nthreads=config.nthreads, program=program.name)
+    golden = golden_run(program, config, setup, telemetry=parent_tel)
     golden_signature = quantize_signature(
         golden.output_signature(config.output_globals), config.quantize_bits)
     max_steps = max(golden.steps * config.hang_factor, golden.steps + 100_000)
@@ -203,25 +299,40 @@ def run_campaign(program: ParallelProgram,
     ctx = _CampaignContext(
         program=program, fault_type=fault_type, config=config, setup=setup,
         golden_signature=golden_signature,
-        branch_counts=dict(golden.branch_counts), max_steps=max_steps)
+        branch_counts=dict(golden.branch_counts), max_steps=max_steps,
+        telemetry=telemetry)
+    timings: Optional[List[Tuple[int, int, float]]] = (
+        [] if telemetry else None)
     records = run_tasks(
         _injection_task, range(config.injections), jobs=jobs, context=ctx,
         context_factory=_campaign_context_from_source,
         factory_args=(program.source, program.name, program.entry,
                       fault_type, config, setup, golden_signature,
-                      dict(golden.branch_counts), max_steps),
-        progress=progress)
+                      dict(golden.branch_counts), max_steps, telemetry),
+        progress=progress, timings=timings)
     for record in records:
         stats.note(record.outcome, record.baseline_outcome)
     if keep_records:
         result.records = list(records)
+    if parent_tel is not None:
+        # Per-worker wall-clock lives in timers only: counters, gauges,
+        # histograms, and events stay partition-independent.
+        for _chunk_id, _nitems, seconds in timings:
+            parent_tel.add_time_ns("campaign.chunk_ns", int(seconds * 1e9))
+        parent_tel.event("campaign_end", outcomes={
+            outcome.value: count
+            for outcome, count in sorted(stats.counts.items(),
+                                         key=lambda kv: kv[0].value)})
+        result.telemetry = TelemetrySnapshot.merge_all(
+            [parent_tel.snapshot()] + [r.telemetry for r in records])
     return result
 
 
 def run_one_injection(program: ParallelProgram, spec: FaultSpec,
                       config: CampaignConfig,
                       setup: Optional[Callable[[SharedMemory], None]],
-                      golden_signature, max_steps: int
+                      golden_signature, max_steps: int,
+                      telemetry: Optional[Telemetry] = None
                       ) -> Tuple[Outcome, Outcome, InjectingHook]:
     """One fault run, classified.  Returns (protected outcome, outcome the
     unprotected program would have had, the hook)."""
@@ -229,7 +340,7 @@ def run_one_injection(program: ParallelProgram, spec: FaultSpec,
     run = program.run(
         RunConfig(nthreads=config.nthreads, seed=config.seed,
                   monitor_mode=MODE_FULL, max_steps=max_steps,
-                  quantum=config.quantum),
+                  quantum=config.quantum, telemetry=telemetry),
         setup=setup, fault_hook=hook)
     if not hook.activated:
         return Outcome.NOT_ACTIVATED, Outcome.NOT_ACTIVATED, hook

@@ -14,12 +14,13 @@ from repro.monitor.messages import (
     RuntimeKey,
 )
 from repro.monitor.hierarchy import HierarchicalMonitor
-from repro.monitor.monitor import MODE_FEED, MODE_FULL, Monitor
+from repro.monitor.monitor import MODE_FEED, MODE_FULL, Monitor, MonitorMode
 from repro.monitor.queue import SpscQueue
 
 __all__ = [
     "CheckStatistics", "Violation", "check_instance",
     "BranchTable", "InstanceEntry",
     "BranchMessage", "ConditionMessage", "OutcomeMessage", "RuntimeKey",
-    "MODE_FEED", "MODE_FULL", "HierarchicalMonitor", "Monitor", "SpscQueue",
+    "MODE_FEED", "MODE_FULL", "MonitorMode",
+    "HierarchicalMonitor", "Monitor", "SpscQueue",
 ]

@@ -19,10 +19,11 @@ so producer backpressure (queue-full stalls) at high thread counts drops
 
 from __future__ import annotations
 
-from typing import List
+from typing import List, Optional
 
 from repro.instrument.config import InstrumentationMetadata
 from repro.monitor.monitor import MODE_FULL, Monitor
+from repro.telemetry import Telemetry
 
 
 class HierarchicalMonitor(Monitor):
@@ -33,8 +34,9 @@ class HierarchicalMonitor(Monitor):
     """
 
     def __init__(self, metadata: InstrumentationMetadata, nthreads: int,
-                 groups: int = 2, mode: str = MODE_FULL):
-        super().__init__(metadata, nthreads, mode=mode)
+                 groups: int = 2, mode: str = MODE_FULL,
+                 telemetry: Optional[Telemetry] = None):
+        super().__init__(metadata, nthreads, mode=mode, telemetry=telemetry)
         if groups < 1:
             raise ValueError("need at least one monitor group")
         self.groups = min(groups, nthreads) if nthreads else 1
@@ -75,7 +77,10 @@ class HierarchicalMonitor(Monitor):
                 continue
             empty_streak = 0
             processed += 1
-            if self.mode == MODE_FULL:
+            if self._full:
                 self._process(message)
         self.leaf_processed[leaf] += processed
+        tel = self.telemetry
+        if tel is not None and processed:
+            tel.observe("monitor.leaf_drain_batch", processed)
         return processed

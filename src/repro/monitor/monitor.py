@@ -26,28 +26,55 @@ Modes mirror the paper's experimental setups:
 
 from __future__ import annotations
 
-from typing import List, Optional
+import enum
+import time
+from typing import List, Optional, Union
 
 from repro.instrument.config import InstrumentationMetadata
 from repro.monitor.checker import CheckStatistics, Violation, check_instance
 from repro.monitor.hashtable import BranchTable, InstanceEntry
 from repro.monitor.messages import BranchMessage
 from repro.monitor.queue import SpscQueue
+from repro.telemetry import Telemetry, active
 
-MODE_FULL = "full"
-MODE_FEED = "feed"
+
+class MonitorMode(str, enum.Enum):
+    """The monitor's operating modes (a ``str`` subclass, so the loose
+    ``"full"``/``"feed"`` strings the API accepted historically compare
+    equal and remain accepted everywhere a mode is expected)."""
+
+    FULL = "full"
+    FEED = "feed"
+
+    @classmethod
+    def coerce(cls, mode: Union["MonitorMode", str]) -> "MonitorMode":
+        try:
+            return cls(mode)
+        except ValueError:
+            raise ValueError("unknown monitor mode %r" % (mode,)) from None
+
+
+#: Legacy aliases (now enum members; still ``== "full"`` / ``== "feed"``).
+MODE_FULL = MonitorMode.FULL
+MODE_FEED = MonitorMode.FEED
 
 
 class Monitor:
     """One monitor serving ``nthreads`` producer threads."""
 
     def __init__(self, metadata: InstrumentationMetadata, nthreads: int,
-                 mode: str = MODE_FULL):
-        if mode not in (MODE_FULL, MODE_FEED):
-            raise ValueError("unknown monitor mode %r" % mode)
+                 mode: Union[MonitorMode, str] = MonitorMode.FULL,
+                 telemetry: Optional[Telemetry] = None):
         self.metadata = metadata
         self.nthreads = nthreads
-        self.mode = mode
+        self.mode = MonitorMode.coerce(mode)
+        #: Hot-path booleans: one attribute load instead of an enum
+        #: comparison per message.
+        self._full = self.mode is MonitorMode.FULL
+        self._feed = self.mode is MonitorMode.FEED
+        #: Live collector or None — the disabled path is one identity
+        #: check (see repro.telemetry).
+        self.telemetry = active(telemetry)
         capacity = metadata.config.queue_capacity
         self.queues: List[SpscQueue[BranchMessage]] = [
             SpscQueue(capacity) for _ in range(nthreads)]
@@ -58,6 +85,7 @@ class Monitor:
         self.messages_processed = 0
         self._round_robin = 0
         self._checks_since_discard = 0
+        self._finalized = False
 
     # -- producer side (called from the interpreter) -------------------------
 
@@ -65,14 +93,20 @@ class Monitor:
         """Enqueue a message from ``thread_id``.  False = queue full, the
         producer must stall and retry (full mode only)."""
         queue = self.queues[thread_id]
-        if self.mode == MODE_FEED and queue.is_full:
+        if self._feed and queue.is_full:
             # Disabled monitor: the queue is never consumed; model the
             # paper's setup by discarding the oldest entry so producers
             # never block on a thread nobody will read.
             queue.try_pop()
         if queue.try_push(message):
             self.messages_received += 1
+            tel = self.telemetry
+            if tel is not None:
+                tel.gauge_max("monitor.queue_hwm", len(queue))
             return True
+        tel = self.telemetry
+        if tel is not None:
+            tel.count("monitor.producer_stalls")
         return False
 
     # -- consumer side (the monitor "thread") --------------------------------
@@ -94,9 +128,13 @@ class Monitor:
                 continue
             empty_streak = 0
             processed += 1
-            if self.mode == MODE_FULL:
+            if self._full:
                 self._process(message)
         self.messages_processed += processed
+        tel = self.telemetry
+        if tel is not None and processed:
+            tel.count("monitor.drains")
+            tel.observe("monitor.drain_batch", processed)
         return processed
 
     def _process(self, message: BranchMessage) -> None:
@@ -112,10 +150,21 @@ class Monitor:
     def _check(self, entry: InstanceEntry) -> None:
         entry.checked = True
         self.stats.note_check(entry.info.check_kind)
-        violation = check_instance(entry)
+        tel = self.telemetry
+        if tel is None:
+            violation = check_instance(entry)
+        else:
+            started = time.perf_counter_ns()
+            violation = check_instance(entry)
+            tel.add_time_ns("monitor.check_ns",
+                            time.perf_counter_ns() - started)
+            tel.count("monitor.checks")
+            tel.count("monitor.check.%s" % entry.info.check_kind)
         if violation is not None:
             self.stats.note_violation(entry.info.check_kind)
             self.violations.append(violation)
+            if tel is not None:
+                tel.count("monitor.violation.%s" % entry.info.check_kind)
         # Bound the back-end table on long runs: periodically free
         # instances whose check already ran.
         self._checks_since_discard += 1
@@ -133,9 +182,18 @@ class Monitor:
         still produces detections)."""
         while self.drain(1024):
             pass
-        if self.mode == MODE_FULL:
-            for entry in self.table.pending_entries():
+        tel = self.telemetry if not self._finalized else None
+        self._finalized = True
+        if self._full:
+            pending = self.table.pending_entries()
+            if tel is not None:
+                tel.count("monitor.incomplete_swept", len(pending))
+            for entry in pending:
                 self._check(entry)
+        if tel is not None:
+            tel.count("monitor.messages_received", self.messages_received)
+            tel.count("monitor.messages_processed", self.messages_processed)
+            tel.count("monitor.queue_full_events", self.queue_pressure())
         return self.violations
 
     @property

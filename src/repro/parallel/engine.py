@@ -101,7 +101,7 @@ def _run_chunk(payload: Tuple[int, Sequence[Tuple[int, object]]]):
 # -- driver ------------------------------------------------------------------
 
 def _run_serial(task_fn, items, context, context_factory, factory_args,
-                progress) -> List:
+                progress, timings) -> List:
     if context is None and context_factory is not None:
         context = context_factory(*factory_args)
     results = []
@@ -109,8 +109,11 @@ def _run_serial(task_fn, items, context, context_factory, factory_args,
     for index, item in enumerate(items):
         started = time.perf_counter()
         results.append(task_fn(context, item))
+        elapsed = time.perf_counter() - started
+        if timings is not None:
+            timings.append((index, 1, elapsed))
         if progress is not None:
-            progress(index + 1, total, time.perf_counter() - started)
+            progress(index + 1, total, elapsed)
     return results
 
 
@@ -136,7 +139,8 @@ def run_tasks(task_fn: Callable,
               context_factory: Optional[Callable] = None,
               factory_args: Tuple = (),
               chunk_size: Optional[int] = None,
-              progress: Optional[Callable[[int, int, float], None]] = None
+              progress: Optional[Callable[[int, int, float], None]] = None,
+              timings: Optional[List[Tuple[int, int, float]]] = None
               ) -> List:
     """Map ``task_fn(context, item)`` over ``items``; results in item order.
 
@@ -145,12 +149,16 @@ def run_tasks(task_fn: Callable,
     delivered for free under fork; under spawn it is rebuilt per worker
     via ``context_factory(*factory_args)`` (or pickled directly when no
     factory is given).  Exceptions raised by any task propagate.
+
+    ``timings``, when given a list, receives one ``(chunk_id, items,
+    seconds)`` tuple per completed dispatch unit — the per-worker
+    wall-clock record campaign telemetry aggregates.
     """
     items = list(items)
     jobs = min(resolve_jobs(jobs), len(items)) if items else 1
     if jobs <= 1:
         return _run_serial(task_fn, items, context, context_factory,
-                           factory_args, progress)
+                           factory_args, progress, timings)
 
     methods = multiprocessing.get_all_start_methods()
     if "fork" in methods:
@@ -166,7 +174,7 @@ def run_tasks(task_fn: Callable,
                 "unavailable; falling back to serial execution",
                 RuntimeWarning, stacklevel=2)
             return _run_serial(task_fn, items, context, context_factory,
-                               factory_args, progress)
+                               factory_args, progress, timings)
 
     size = chunk_size if chunk_size else default_chunk_size(len(items), jobs)
     indexed = list(enumerate(items))
@@ -177,11 +185,13 @@ def run_tasks(task_fn: Callable,
     done = 0
     with mp.Pool(processes=min(jobs, len(chunks)),
                  initializer=_init_worker, initargs=initargs) as pool:
-        for _, chunk_results, elapsed in pool.imap_unordered(
+        for chunk_id, chunk_results, elapsed in pool.imap_unordered(
                 _run_chunk, chunks):
             for index, value in chunk_results:
                 results[index] = value
             done += len(chunk_results)
+            if timings is not None:
+                timings.append((chunk_id, len(chunk_results), elapsed))
             if progress is not None:
                 progress(done, len(items), elapsed)
     return results

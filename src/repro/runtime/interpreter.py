@@ -18,6 +18,7 @@ from __future__ import annotations
 import enum
 import operator
 import random
+import time
 from typing import Any, Callable, Dict, List, Optional, Tuple
 
 from repro.errors import (
@@ -64,6 +65,7 @@ from repro.monitor import ConditionMessage, Monitor, OutcomeMessage
 from repro.runtime.costmodel import CostModel
 from repro.runtime.memory import SharedMemory
 from repro.runtime.sync import SimBarrier, SimMutex
+from repro.telemetry import Telemetry, TelemetrySnapshot, active
 from repro.runtime.values import (
     float_to_int,
     int_div,
@@ -183,6 +185,10 @@ class RunResult:
         #: determinism enforcement off these).
         self.lock_acquisitions = 0
         self.barrier_episodes = 0
+        #: Simulated cycles threads spent waiting at barriers/locks.
+        self.sync_wait_cycles: float = 0.0
+        #: Metrics snapshot; None unless the run was given a collector.
+        self.telemetry: Optional[TelemetrySnapshot] = None
 
     @property
     def detected(self) -> bool:
@@ -212,7 +218,8 @@ class Machine:
                  quantum: int = 32,
                  max_steps: int = 20_000_000,
                  schedule_jitter: float = 2.0,
-                 halt_on_detection: bool = False):
+                 halt_on_detection: bool = False,
+                 telemetry: Optional[Telemetry] = None):
         if module.bw_metadata is not None and monitor is None:
             raise SimulationError(
                 "instrumented module requires a Monitor (mode 'full' or 'feed')")
@@ -225,6 +232,11 @@ class Machine:
         self.quantum = quantum
         self.max_steps = max_steps
         self.halt_on_detection = halt_on_detection
+        self.seed = seed
+        #: Live collector or None; hot loops never see the disabled case
+        #: (repro.telemetry normalizes it away here, once).
+        self.telemetry = active(telemetry)
+        self.sync_wait_cycles: float = 0.0
         self._rng = random.Random(seed)
         self._jitter = schedule_jitter
 
@@ -255,6 +267,10 @@ class Machine:
     def run(self) -> RunResult:
         from repro.errors import DetectionRaised
         result = RunResult()
+        tel = self.telemetry
+        wall_started = time.perf_counter_ns() if tel is not None else 0
+        if tel is not None:
+            tel.event("run_start", nthreads=self.nthreads, seed=self.seed)
         try:
             self._loop()
         except DetectionRaised:
@@ -285,8 +301,31 @@ class Machine:
             m.acquisitions for m in self.mutexes.values())
         result.barrier_episodes = sum(
             b.episodes for b in self.barriers.values())
+        result.sync_wait_cycles = self.sync_wait_cycles
         if self.monitor is not None:
             result.violations = list(self.monitor.finalize())
+        if tel is not None:
+            # End-of-run aggregation: the per-instruction facts come from
+            # counters the simulator maintains anyway, so the interpreter
+            # hot loop carries no telemetry cost even when enabled.
+            tel.add_time_ns("interp.wall_ns",
+                            time.perf_counter_ns() - wall_started)
+            tel.count("interp.runs")
+            tel.count("interp.steps", self.total_steps)
+            tel.count("interp.branches",
+                      sum(result.branch_counts.values()))
+            tel.count("sync.lock_acquisitions", result.lock_acquisitions)
+            tel.count("sync.barrier_episodes", result.barrier_episodes)
+            tel.count("sync.wait_cycles", int(self.sync_wait_cycles))
+            tel.gauge_max("interp.parallel_cycles", int(result.parallel_time))
+            for thread in self.threads:
+                tel.observe("interp.thread_cycles", thread.cycles)
+                tel.observe("interp.thread_steps", thread.steps)
+            tel.event("run_end", status=result.status,
+                      steps=self.total_steps,
+                      violations=len(result.violations),
+                      detected=result.detected)
+            result.telemetry = tel.snapshot()
         return result
 
     def _loop(self) -> None:
@@ -606,8 +645,10 @@ class Machine:
         if woken_tid is not None:
             woken = self.threads[woken_tid]
             woken.status = ThreadStatus.RUNNABLE
-            woken.cycles = max(woken.cycles,
-                               mutex.last_release + self.cost.lock_transfer)
+            handoff = mutex.last_release + self.cost.lock_transfer
+            if handoff > woken.cycles:
+                self.sync_wait_cycles += handoff - woken.cycles
+                woken.cycles = handoff
             woken.frames[-1].index += 1  # past its LockAcquire
 
     def _exec_barrier(self, thread: ThreadContext, frame: Frame,
@@ -619,7 +660,9 @@ class Machine:
             release_at = barrier.release() + self._barrier_cost
             for tid in participants:
                 other = self.threads[tid]
-                other.cycles = max(other.cycles, release_at)
+                if release_at > other.cycles:
+                    self.sync_wait_cycles += release_at - other.cycles
+                    other.cycles = release_at
                 if other is not thread:
                     other.status = ThreadStatus.RUNNABLE
         else:

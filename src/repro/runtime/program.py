@@ -10,15 +10,16 @@ campaigns, and the benchmark harnesses all drive.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Callable, Optional
+from typing import Callable, Optional, Union
 
 from repro.analysis import AnalysisConfig, SimilarityResult, analyze_module
 from repro.frontend import compile_source
 from repro.instrument import InstrumentConfig, instrument_module
-from repro.monitor import MODE_FEED, MODE_FULL, Monitor
+from repro.monitor import MODE_FEED, MODE_FULL, Monitor, MonitorMode
 from repro.runtime.costmodel import CostModel
 from repro.runtime.interpreter import FaultHook, Machine, RunResult
 from repro.runtime.memory import SharedMemory
+from repro.telemetry import Telemetry
 
 
 @dataclass
@@ -27,9 +28,10 @@ class RunConfig:
 
     nthreads: int = 4
     seed: int = 0
-    #: 'full' checks; 'feed' sends without processing (the paper's
-    #: 32-thread performance setup); None runs the uninstrumented image.
-    monitor_mode: Optional[str] = MODE_FULL
+    #: MonitorMode.FULL checks; MonitorMode.FEED sends without processing
+    #: (the paper's 32-thread performance setup); None runs the
+    #: uninstrumented image.  Loose "full"/"feed" strings are accepted.
+    monitor_mode: Optional[Union[MonitorMode, str]] = MonitorMode.FULL
     #: >1 enables the hierarchical multi-monitor of the paper's Section VI
     #: (that many leaf monitor threads, each serving a thread sub-group).
     monitor_groups: int = 1
@@ -38,6 +40,9 @@ class RunConfig:
     max_steps: int = 20_000_000
     schedule_jitter: float = 2.0
     halt_on_detection: bool = False
+    #: One collector shared by the machine and the monitor; None (the
+    #: default) keeps every telemetry path disabled at zero cost.
+    telemetry: Optional[Telemetry] = None
 
 
 class ParallelProgram:
@@ -78,25 +83,26 @@ class ParallelProgram:
         """
         if config.monitor_mode is None:
             module, monitor = self.baseline, None
-        elif config.monitor_mode in (MODE_FULL, MODE_FEED):
+        else:
+            mode = MonitorMode.coerce(config.monitor_mode)
             module = self.protected
             if config.monitor_groups > 1:
                 from repro.monitor import HierarchicalMonitor
                 monitor = HierarchicalMonitor(
                     self.metadata, config.nthreads,
-                    groups=config.monitor_groups, mode=config.monitor_mode)
+                    groups=config.monitor_groups, mode=mode,
+                    telemetry=config.telemetry)
             else:
                 monitor = Monitor(self.metadata, config.nthreads,
-                                  mode=config.monitor_mode)
-        else:
-            raise ValueError("unknown monitor mode %r" % config.monitor_mode)
+                                  mode=mode, telemetry=config.telemetry)
         machine = Machine(
             module, config.nthreads, entry=self.entry, monitor=monitor,
             cost_model=config.cost_model, fault_hook=fault_hook,
             seed=config.seed, quantum=config.quantum,
             max_steps=config.max_steps,
             schedule_jitter=config.schedule_jitter,
-            halt_on_detection=config.halt_on_detection)
+            halt_on_detection=config.halt_on_detection,
+            telemetry=config.telemetry)
         if setup is not None:
             setup(machine.memory)
         return machine.run()
@@ -109,7 +115,7 @@ class ParallelProgram:
 
     def run_protected(self, nthreads: int, seed: int = 0,
                       setup: Optional[Callable[[SharedMemory], None]] = None,
-                      monitor_mode: str = MODE_FULL,
+                      monitor_mode: Union[MonitorMode, str] = MonitorMode.FULL,
                       fault_hook: Optional[FaultHook] = None,
                       **kwargs) -> RunResult:
         return self.run(RunConfig(nthreads=nthreads, seed=seed,

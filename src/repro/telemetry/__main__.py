@@ -1,0 +1,34 @@
+"""Trace validation entry point::
+
+    python -m repro.telemetry trace.jsonl [more.jsonl ...]
+
+Exits non-zero (printing the first schema violation) if any file fails;
+on success prints one summary line per file.
+"""
+
+from __future__ import annotations
+
+import sys
+
+from repro.telemetry.trace import TraceSchemaError, validate_trace_file
+
+
+def main(argv=None) -> int:
+    argv = list(sys.argv[1:] if argv is None else argv)
+    if not argv or any(arg in ("-h", "--help") for arg in argv):
+        print(__doc__.strip())
+        return 0 if argv else 2
+    status = 0
+    for path in argv:
+        try:
+            count = validate_trace_file(path)
+        except (OSError, TraceSchemaError) as exc:
+            print("%s: INVALID: %s" % (path, exc), file=sys.stderr)
+            status = 1
+        else:
+            print("%s: %d events, schema OK" % (path, count))
+    return status
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,135 @@
+"""TelemetrySnapshot algebra: merge associativity, identity, roundtrip."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.telemetry import (
+    DISABLED,
+    NullTelemetry,
+    Telemetry,
+    TelemetrySnapshot,
+    active,
+    bucket_bounds,
+    bucket_of,
+    event_sort_key,
+)
+
+
+def _snapshot(tag: int) -> TelemetrySnapshot:
+    tel = Telemetry(context={"inj": tag, "seed": 7 * tag})
+    tel.count("runs")
+    tel.count("steps", 10 * (tag + 1))
+    tel.gauge_max("hwm", 5 * tag)
+    tel.observe("batch", tag + 1)
+    tel.observe("batch", 4 * (tag + 1))
+    tel.add_time_ns("wall_ns", 1000 + tag)
+    tel.event("run_start", nthreads=4)
+    tel.event("run_end", status="ok", steps=10 * (tag + 1), violations=0)
+    return tel.snapshot()
+
+
+def test_merge_is_associative_and_commutative():
+    a, b, c = _snapshot(0), _snapshot(1), _snapshot(2)
+
+    left = TelemetrySnapshot.merge_all([a, b]).merge(c)
+    right = a.merge(TelemetrySnapshot.merge_all([b, c]))
+    assert left == right
+
+    assert a.merge(b) == b.merge(a)
+
+
+def test_merge_identity_and_merge_all_empty():
+    a = _snapshot(3)
+    empty = TelemetrySnapshot()
+    assert a.merge(empty) == a
+    assert empty.merge(a) == a
+    assert TelemetrySnapshot.merge_all([]) == empty
+    assert TelemetrySnapshot.merge_all([a]) == a
+
+
+def test_merge_does_not_mutate_operands():
+    a, b = _snapshot(0), _snapshot(1)
+    a_before, b_before = a.to_dict(), b.to_dict()
+    a.merge(b)
+    assert a.to_dict() == a_before
+    assert b.to_dict() == b_before
+
+
+def test_merge_semantics():
+    a, b = _snapshot(0), _snapshot(1)
+    merged = a.merge(b)
+    assert merged.counter("runs") == 2
+    assert merged.counter("steps") == 30
+    assert merged.gauges["hwm"] == 5          # max, not sum
+    assert sum(merged.hists["batch"].values()) == 4
+    count, total = merged.timers["wall_ns"]
+    assert (count, total) == (2, 2001)
+    # Events interleave by (inj, seq) regardless of merge order.
+    assert [event_sort_key(e) for e in merged.events] == sorted(
+        event_sort_key(e) for e in merged.events)
+
+
+def test_dict_roundtrip():
+    a = _snapshot(4)
+    assert TelemetrySnapshot.from_dict(a.to_dict()) == a
+    merged = a.merge(_snapshot(5))
+    assert TelemetrySnapshot.from_dict(merged.to_dict()) == merged
+
+
+def test_events_carry_context_and_sequence():
+    tel = Telemetry(context={"inj": 9, "seed": 123})
+    tel.event("run_start", nthreads=2)
+    tel.event("run_end", status="ok", steps=1, violations=0)
+    events = tel.snapshot().events
+    assert [e["seq"] for e in events] == [0, 1]
+    assert all(e["inj"] == 9 and e["seed"] == 123 for e in events)
+    assert [e["kind"] for e in events] == ["run_start", "run_end"]
+
+
+def test_timer_context_manager_counts_samples():
+    tel = Telemetry()
+    with tel.timer("t_ns"):
+        pass
+    with tel.timer("t_ns"):
+        pass
+    count, total = tel.snapshot().timers["t_ns"]
+    assert count == 2
+    assert total >= 0
+
+
+def test_bucket_of_and_bounds():
+    assert bucket_of(0) == 0
+    assert bucket_of(-5) == 0
+    assert bucket_of(1) == 1
+    assert bucket_of(7) == 3
+    assert bucket_of(8) == 4
+    lo, hi = bucket_bounds(3)
+    assert (lo, hi) == (4, 7)
+
+
+def test_disabled_collectors_are_inert():
+    assert active(None) is None
+    assert active(DISABLED) is None
+    null = NullTelemetry()
+    assert not null.enabled
+    null.count("x")
+    null.gauge_max("x", 5)
+    null.observe("x", 5)
+    null.add_time_ns("x", 5)
+    null.event("run_start", nthreads=1)
+    with null.timer("x"):
+        pass
+    snap = null.snapshot()
+    assert snap == TelemetrySnapshot()
+    live = Telemetry()
+    assert active(live) is live
+
+
+def test_format_summary_and_rate():
+    snap = _snapshot(0)
+    text = snap.format_summary()
+    assert "runs" in text and "batch" in text
+    # steps=10 over 1000 ns -> 1e7 steps/s
+    assert snap.rate("steps", "wall_ns") == pytest.approx(1e7)
+    assert TelemetrySnapshot().rate("steps", "wall_ns") == 0.0
