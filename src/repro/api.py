@@ -62,6 +62,14 @@ class BlockWatch:
             analysis_config=analysis_config,
             instrument_config=instrument_config)
 
+    @classmethod
+    def from_program(cls, program: ParallelProgram) -> "BlockWatch":
+        """Wrap an already-compiled program — e.g. one loaded from a
+        :class:`repro.store.ArtifactStore` — without recompiling."""
+        instance = cls.__new__(cls)
+        instance.program = program
+        return instance
+
     # -- introspection ----------------------------------------------------
 
     @property
@@ -131,7 +139,10 @@ class BlockWatch:
                jobs: Optional[int] = None,
                config: Optional[CampaignConfig] = None,
                telemetry: bool = False,
-               keep_records: bool = False) -> CampaignResult:
+               keep_records: bool = False,
+               journal: Optional[str] = None,
+               resume: bool = False,
+               store=None) -> CampaignResult:
         """Run a fault-injection campaign; returns the full
         :class:`CampaignResult` (stats on ``.stats``, merged telemetry
         and trace on ``.telemetry`` when ``telemetry=True``).
@@ -143,6 +154,13 @@ class BlockWatch:
         every core); everything except wall-clock timers is identical
         to a serial run for the same seed.
 
+        ``journal`` checkpoints every completed injection to a
+        crash-safe JSONL file; ``resume=True`` replays it (after plan
+        validation) and runs only the missing injections — the result is
+        identical to an uninterrupted campaign.  ``store`` (default:
+        the ``$REPRO_STORE`` process store) caches golden runs across
+        campaigns.  See :mod:`repro.store`.
+
         Returned results still answer for :class:`CampaignStats`
         attributes (the old return shape) with a DeprecationWarning.
         """
@@ -153,7 +171,8 @@ class BlockWatch:
                 quantize_bits=quantize_bits)
         return run_campaign(self.program, fault_type, config,
                             setup=setup, jobs=jobs, telemetry=telemetry,
-                            keep_records=keep_records)
+                            keep_records=keep_records, journal=journal,
+                            resume=resume, store=store)
 
 
 def protect(source: str, **kwargs) -> BlockWatch:

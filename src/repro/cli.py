@@ -10,6 +10,9 @@ Subcommands::
     repro-minic trace   prog.mc -t 4 -o run.jsonl   # run + JSONL trace
     repro-minic inject  prog.mc -t 4 -n 100 --fault flip -j 4
     repro-minic inject  kernel:radix -n 50 --trace campaign.jsonl
+    repro-minic run     kernel:radix --store ~/.cache/repro-store
+    repro-minic inject  kernel:radix -n 500 --journal camp.jsonl
+    repro-minic inject  kernel:radix -n 500 --journal camp.jsonl --resume
 
 Programs receive ``nprocs`` automatically; other inputs can be seeded
 with ``--set name=value`` (scalars) and ``--fill array=v0,v1,...``.
@@ -54,11 +57,28 @@ def _kernel_spec(path: str):
         raise SystemExit(str(exc))
 
 
-def _make_blockwatch(args) -> BlockWatch:
+def _open_store(args):
+    """The ``--store``/``$REPRO_STORE`` artifact store, installed as the
+    process default so campaign golden-run caching engages too."""
+    from repro.store import open_store
+    return open_store(getattr(args, "store", None), install=True)
+
+
+def _make_blockwatch(args, store=None, telemetry=None) -> BlockWatch:
     if args.program.startswith(KERNEL_PREFIX):
         spec = _kernel_spec(args.program)
-        return BlockWatch(spec.source, name=spec.name, entry=spec.entry)
-    return BlockWatch(_load_source(args.program), entry=args.entry)
+        source, name, entry = spec.source, spec.name, spec.entry
+    else:
+        source, name, entry = _load_source(args.program), "program", args.entry
+    if store is not None:
+        hits = store.counters.get("store.cache.hit", 0)
+        program = store.get_program(source, name, entry=entry,
+                                    telemetry=telemetry)
+        outcome = ("hit" if store.counters.get("store.cache.hit", 0) > hits
+                   else "miss")
+        print("store: program cache %s (%s)" % (outcome, name))
+        return BlockWatch.from_program(program)
+    return BlockWatch(source, name=name, entry=entry)
 
 
 def _parse_assignments(pairs: List[str]):
@@ -118,11 +138,11 @@ def cmd_report(args) -> int:
 
 def _run_once(args, trace_path: Optional[str]):
     """Shared body of ``run`` and ``trace``: execute + report one run."""
-    bw = _make_blockwatch(args)
-    setup = _make_run_setup(args)
     telemetry = None
     if trace_path is not None:
         telemetry = Telemetry(context={"inj": -1, "seed": args.seed})
+    bw = _make_blockwatch(args, store=_open_store(args), telemetry=telemetry)
+    setup = _make_run_setup(args)
     if args.baseline:
         result = bw.run_baseline(args.threads, setup=setup, seed=args.seed,
                                  telemetry=telemetry)
@@ -166,23 +186,33 @@ def cmd_trace(args) -> int:
 
 
 def cmd_inject(args) -> int:
-    bw = _make_blockwatch(args)
+    store = _open_store(args)
+    bw = _make_blockwatch(args, store=store)
     setup = _make_run_setup(args)
     fault = (FaultType.BRANCH_FLIP if args.fault == "flip"
              else FaultType.BRANCH_CONDITION)
     outputs = tuple(n for n in args.outputs.split(",") if n)
     if not outputs and args.program.startswith(KERNEL_PREFIX):
         outputs = tuple(_kernel_spec(args.program).output_globals)
-    result = bw.inject(fault, nthreads=args.threads,
-                       injections=args.injections, setup=setup,
-                       output_globals=outputs, seed=args.seed,
-                       quantize_bits=args.quantize, jobs=args.jobs,
-                       telemetry=args.trace is not None)
+    from repro.errors import StoreError
+    try:
+        result = bw.inject(fault, nthreads=args.threads,
+                           injections=args.injections, setup=setup,
+                           output_globals=outputs, seed=args.seed,
+                           quantize_bits=args.quantize, jobs=args.jobs,
+                           telemetry=args.trace is not None,
+                           journal=args.journal, resume=args.resume,
+                           store=store)
+    except StoreError as exc:
+        raise SystemExit("error: %s" % exc)
     stats = result.stats
     print(format_table(
         stats.SUMMARY_HEADERS, [stats.summary_row()],
         title="Campaign: %d x %s on %s" % (args.injections, fault.value,
                                            args.program)))
+    if args.journal is not None:
+        print("journal: %s%s" % (args.journal,
+                                 " (resumed)" if args.resume else ""))
     if args.trace is not None:
         count = result.write_trace(args.trace)
         print("trace: %d events -> %s" % (count, args.trace))
@@ -224,9 +254,15 @@ def main(argv=None) -> int:
         p.add_argument("--show", action="append", default=[],
                        metavar="GLOBAL", help="print a global after the run")
 
+    def store_opt(p):
+        p.add_argument("--store", default=None, metavar="PATH",
+                       help="artifact-store root for cached compiles and "
+                            "golden runs (default: $REPRO_STORE, else off)")
+
     p_run = sub.add_parser("run", help="execute the program")
     common(p_run)
     run_opts(p_run)
+    store_opt(p_run)
     p_run.add_argument("--trace", default=None, metavar="OUT.JSONL",
                        help="collect telemetry and write the event trace")
     p_run.set_defaults(func=cmd_run)
@@ -235,6 +271,7 @@ def main(argv=None) -> int:
         "trace", help="execute the program with telemetry + JSONL trace")
     common(p_trace)
     run_opts(p_trace)
+    store_opt(p_trace)
     p_trace.add_argument("-o", "--out", default="trace.jsonl",
                          metavar="OUT.JSONL",
                          help="trace destination (default: trace.jsonl)")
@@ -256,6 +293,14 @@ def main(argv=None) -> int:
     p_inject.add_argument("--trace", default=None, metavar="OUT.JSONL",
                           help="collect campaign telemetry and write the "
                                "merged event trace")
+    store_opt(p_inject)
+    p_inject.add_argument("--journal", default=None, metavar="OUT.JSONL",
+                          help="checkpoint completed injections to a "
+                               "crash-safe journal file")
+    p_inject.add_argument("--resume", action="store_true",
+                          help="resume an interrupted campaign from "
+                               "--journal (validates the plan hash; runs "
+                               "only the missing injections)")
     p_inject.set_defaults(func=cmd_inject)
 
     args = parser.parse_args(argv)

@@ -89,6 +89,29 @@ class GuestDeadlock(GuestFailure):
     """Every runnable simulated thread is blocked on a lock or barrier."""
 
 
+class StoreError(ReproError):
+    """Base class for durable-store failures (:mod:`repro.store`).
+
+    Raised when an on-disk artifact or campaign journal cannot be used
+    *safely*: corruption, schema drift, and plan mismatches all surface
+    here instead of producing a silently wrong cache hit or resume.
+    """
+
+
+class StoreCorruptError(StoreError):
+    """An on-disk store object is damaged (truncated journal line,
+    unreadable pickle, metadata that fails verification)."""
+
+
+class StoreSchemaError(StoreError):
+    """A store object was written under an incompatible schema version."""
+
+
+class PlanMismatchError(StoreError):
+    """A journal's recorded campaign plan does not match the resuming
+    campaign (different program, seed, fault model, or config)."""
+
+
 class DetectionRaised(ReproError):
     """The BLOCKWATCH monitor detected a similarity violation.
 

@@ -8,11 +8,18 @@ Installed as ``repro-blockwatch``::
     REPRO_FAULTS=200 repro-blockwatch fig8 fig9
     repro-blockwatch --jobs 8 fig8          # 8 worker processes
     REPRO_FAULTS=1000 REPRO_JOBS=0 repro-blockwatch fig8 fig9  # paper scale
+    repro-blockwatch --store ~/.cache/repro-store fig8 fig9
     repro-blockwatch all
 
 ``--jobs`` (or the ``REPRO_JOBS`` environment variable) fans every
 campaign-shaped workload out across worker processes; results are
 bit-identical to serial runs.
+
+``--store`` (or ``REPRO_STORE``) routes every kernel compile and every
+campaign golden run through a durable :mod:`repro.store` artifact
+cache, so fig6/fig7/fig8/fig9 on the same kernels share one compiled
+program and one golden run per configuration — across figures *and*
+across invocations.
 """
 
 from __future__ import annotations
@@ -73,11 +80,23 @@ def main(argv=None) -> int:
                              "experiments (0 = all cores; default: "
                              "$REPRO_JOBS or serial); results are "
                              "identical to serial runs")
+    parser.add_argument("--store", default=None, metavar="PATH",
+                        help="artifact-store root: cache kernel compiles "
+                             "and golden runs across figures and "
+                             "invocations (default: $REPRO_STORE, else "
+                             "off); results are identical either way")
     args = parser.parse_args(argv)
     if args.jobs is not None:
         # The experiment thunks take no arguments; the jobs policy flows
         # through the environment (read by repro.parallel.resolve_jobs).
         os.environ["REPRO_JOBS"] = str(args.jobs)
+    from repro.store import open_store
+    store = open_store(args.store, install=True)
+    if store is not None:
+        # Spawn-pool workers rebuild contexts from scratch; the env var
+        # lets them hit the same store instead of recompiling.
+        os.environ.setdefault("REPRO_STORE", store.root)
+        print("artifact store: %s" % store.root)
 
     requested = list(args.experiments)
     if requested == ["list"]:

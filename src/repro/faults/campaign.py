@@ -18,6 +18,7 @@ stays on the plain in-process loop.
 
 from __future__ import annotations
 
+import os
 import random
 import time
 import warnings
@@ -105,13 +106,22 @@ class CampaignResult:
                 "run_campaign()/BlockWatch.inject() to record a trace")
         return _write_trace_file(path, self.telemetry.events)
 
+    #: The exact public surface of the pre-telemetry return shape (a
+    #: bare CampaignStats).  Only these names go through the deprecation
+    #: shim; anything else — a typo, a protocol probe — raises a plain
+    #: AttributeError immediately instead of being answered (or shadowed)
+    #: by whatever happens to exist on the stats object.
+    _STATS_COMPAT = frozenset((
+        "program", "fault_type", "nthreads", "injections",
+        "counts", "baseline_counts", "activated",
+        "coverage_protected", "coverage_original", "detection_gain",
+        "rate", "summary_row", "SUMMARY_HEADERS",
+    ))
+
     def __getattr__(self, name: str):
-        # Deprecation shim for the pre-telemetry return shape (a bare
-        # CampaignStats).  Dunders are excluded so pickling/copying of
-        # the dataclass itself stays untouched.
-        if not name.startswith("_"):
+        if name in CampaignResult._STATS_COMPAT:
             stats = self.__dict__.get("stats")
-            if stats is not None and hasattr(stats, name):
+            if stats is not None:
                 warnings.warn(
                     "accessing %r directly on CampaignResult is "
                     "deprecated; use the .stats field" % name,
@@ -160,6 +170,15 @@ def golden_run(program: ParallelProgram, config: CampaignConfig,
         raise RuntimeError("false positive in golden run: %s"
                            % result.violations[0])
     return result
+
+
+def _golden_summary_of(golden: RunResult, config: CampaignConfig):
+    """The light, cacheable facts a campaign needs from its golden run."""
+    from repro.store.artifacts import GoldenSummary
+    return GoldenSummary(
+        signature=golden.output_signature(config.output_globals),
+        branch_counts=dict(golden.branch_counts),
+        steps=golden.steps)
 
 
 def injection_seed(base_seed: int, fault_type: FaultType, index: int) -> int:
@@ -265,7 +284,10 @@ def run_campaign(program: ParallelProgram,
                  keep_records: bool = False,
                  jobs: Optional[int] = None,
                  progress: Optional[Callable[[int, int, float], None]] = None,
-                 telemetry: bool = False
+                 telemetry: bool = False,
+                 journal: Optional[str] = None,
+                 resume: bool = False,
+                 store=None
                  ) -> CampaignResult:
     """Execute one full campaign and return a :class:`CampaignResult`.
 
@@ -281,6 +303,25 @@ def run_campaign(program: ParallelProgram,
     event trace: the golden run and every injection get a collector, the
     per-worker snapshots merge into ``result.telemetry``, and everything
     except wall-clock timers is bit-identical whatever ``jobs`` was.
+
+    ``journal`` names a crash-safe JSONL checkpoint file: every completed
+    injection is appended (with its telemetry snapshot) as soon as its
+    chunk finishes, so a killed campaign loses at most in-flight work.
+    ``resume=True`` replays an existing journal — after validating its
+    plan hash and golden fingerprint — and schedules **only the missing
+    injection indices**; the merged result (stats, records, event trace)
+    is identical to an uninterrupted run with the same seed.  Journal
+    bookkeeping is reported through ``store.journal.*`` *counters* only,
+    never events, precisely so that identity holds.  A fresh campaign
+    refuses to overwrite an existing journal unless ``resume=True``.
+
+    ``store`` (an :class:`repro.store.ArtifactStore`; default: the
+    process-wide store from :func:`repro.store.default_store`, usually
+    ``$REPRO_STORE``) caches the golden run: telemetry-off campaigns on
+    the same (program, nthreads, seed, quantum, outputs) reuse one
+    golden execution across fault types, figures, and processes.  On a
+    golden-cache hit ``result.golden`` is ``None`` (stats and records
+    are unaffected).
     """
     parent_tel = None
     if telemetry:
@@ -288,10 +329,68 @@ def run_campaign(program: ParallelProgram,
         parent_tel.event("campaign_start", fault=fault_type.value,
                          injections=config.injections,
                          nthreads=config.nthreads, program=program.name)
-    golden = golden_run(program, config, setup, telemetry=parent_tel)
-    golden_signature = quantize_signature(
-        golden.output_signature(config.output_globals), config.quantize_bits)
-    max_steps = max(golden.steps * config.hang_factor, golden.steps + 100_000)
+
+    if store is None:
+        from repro.store.runtime import default_store
+        store = default_store()
+
+    # -- golden run (cached only when no events are being collected) ----
+    golden: Optional[RunResult] = None
+    if store is not None and parent_tel is None:
+        from repro.store.hashing import program_key_of
+        prog_key = program_key_of(program)
+        summary = store.get_golden(
+            prog_key, config.nthreads, config.seed, config.quantum,
+            tuple(config.output_globals),
+            compute=lambda: _golden_summary_of(
+                golden_run(program, config, setup), config))
+    else:
+        golden = golden_run(program, config, setup, telemetry=parent_tel)
+        summary = _golden_summary_of(golden, config)
+    golden_signature = quantize_signature(summary.signature,
+                                          config.quantize_bits)
+    branch_counts = dict(summary.branch_counts)
+    max_steps = max(summary.steps * config.hang_factor,
+                    summary.steps + 100_000)
+
+    # -- journal replay / checkpoint setup ------------------------------
+    pending = list(range(config.injections))
+    replayed: Dict[int, InjectionRecord] = {}
+    writer = None
+    if journal is not None:
+        from repro.errors import PlanMismatchError, StoreError
+        from repro.store.hashing import (golden_fingerprint,
+                                         plan_fingerprint, program_key_of)
+        from repro.store.journal import JournalWriter, read_journal
+        plan_hash, plan = plan_fingerprint(
+            program_key_of(program), fault_type, config, telemetry=telemetry)
+        golden_fp = golden_fingerprint(summary.signature, branch_counts,
+                                       summary.steps)
+        exists = os.path.exists(journal) and os.path.getsize(journal) > 0
+        if exists and not resume:
+            raise StoreError(
+                "journal %s already exists; pass resume=True (--resume) "
+                "to continue it, or delete it to start over" % journal)
+        if exists:
+            replay = read_journal(journal, expect_plan_hash=plan_hash,
+                                  expect_plan=plan)
+            if replay.golden_fingerprint != golden_fp:
+                raise PlanMismatchError(
+                    "journal %s was written against a different golden "
+                    "run (fingerprint %s... != %s...); the environment "
+                    "is not reproducing the original execution"
+                    % (journal, replay.golden_fingerprint[:12],
+                       golden_fp[:12]))
+            replayed = replay.records
+            pending = replay.missing_indices(config.injections)
+            writer = JournalWriter(journal)
+            if parent_tel is not None:
+                parent_tel.count("store.journal.replayed", len(replayed))
+                if replay.partial_tail_dropped:
+                    parent_tel.count("store.journal.partial_tail_dropped")
+        else:
+            writer = JournalWriter(journal)
+            writer.write_header(plan_hash, plan, golden_fp)
 
     stats = CampaignStats(program=program.name, fault_type=fault_type.value,
                           nthreads=config.nthreads)
@@ -299,17 +398,38 @@ def run_campaign(program: ParallelProgram,
     ctx = _CampaignContext(
         program=program, fault_type=fault_type, config=config, setup=setup,
         golden_signature=golden_signature,
-        branch_counts=dict(golden.branch_counts), max_steps=max_steps,
+        branch_counts=branch_counts, max_steps=max_steps,
         telemetry=telemetry)
     timings: Optional[List[Tuple[int, int, float]]] = (
         [] if telemetry else None)
-    records = run_tasks(
-        _injection_task, range(config.injections), jobs=jobs, context=ctx,
-        context_factory=_campaign_context_from_source,
-        factory_args=(program.source, program.name, program.entry,
-                      fault_type, config, setup, golden_signature,
-                      dict(golden.branch_counts), max_steps, telemetry),
-        progress=progress, timings=timings)
+
+    checkpoint = None
+    if writer is not None:
+        def checkpoint(pairs):
+            # Parent-side, per completed chunk: positions are into
+            # ``pending``, the journal records original indices.
+            for position, record in pairs:
+                writer.append(pending[position], record)
+
+    try:
+        new_records = run_tasks(
+            _injection_task, pending, jobs=jobs, context=ctx,
+            context_factory=_campaign_context_from_source,
+            factory_args=(program.source, program.name, program.entry,
+                          fault_type, config, setup, golden_signature,
+                          branch_counts, max_steps, telemetry),
+            progress=progress, timings=timings, on_results=checkpoint)
+    finally:
+        if writer is not None:
+            writer.close()
+    if parent_tel is not None and writer is not None:
+        parent_tel.count("store.journal.appended", len(pending))
+
+    records: List[InjectionRecord] = [None] * config.injections
+    for index, record in replayed.items():
+        records[index] = record
+    for position, index in enumerate(pending):
+        records[index] = new_records[position]
     for record in records:
         stats.note(record.outcome, record.baseline_outcome)
     if keep_records:

@@ -48,7 +48,13 @@ class InjectingHook(FaultHook):
         self.activated = True
         if self.spec.fault_type is FaultType.BRANCH_FLIP:
             self.flipped_branch = True
-            self.detail = "flipped decision of %r" % branch
+            # Built from block names only: unnamed condition registers
+            # print as id()-based placeholders, and journal replay needs
+            # details that are stable across processes.
+            self.detail = ("flipped decision of br -> %s, %s%s"
+                           % (branch.then_block.name,
+                              branch.else_block.name,
+                              " !bw" if branch.bw_info is not None else ""))
             return not taken
         return self._corrupt_condition(machine, thread, branch, frame, taken)
 

@@ -101,7 +101,7 @@ def _run_chunk(payload: Tuple[int, Sequence[Tuple[int, object]]]):
 # -- driver ------------------------------------------------------------------
 
 def _run_serial(task_fn, items, context, context_factory, factory_args,
-                progress, timings) -> List:
+                progress, timings, on_results) -> List:
     if context is None and context_factory is not None:
         context = context_factory(*factory_args)
     results = []
@@ -112,6 +112,8 @@ def _run_serial(task_fn, items, context, context_factory, factory_args,
         elapsed = time.perf_counter() - started
         if timings is not None:
             timings.append((index, 1, elapsed))
+        if on_results is not None:
+            on_results([(index, results[-1])])
         if progress is not None:
             progress(index + 1, total, elapsed)
     return results
@@ -140,7 +142,9 @@ def run_tasks(task_fn: Callable,
               factory_args: Tuple = (),
               chunk_size: Optional[int] = None,
               progress: Optional[Callable[[int, int, float], None]] = None,
-              timings: Optional[List[Tuple[int, int, float]]] = None
+              timings: Optional[List[Tuple[int, int, float]]] = None,
+              on_results: Optional[
+                  Callable[[List[Tuple[int, object]]], None]] = None
               ) -> List:
     """Map ``task_fn(context, item)`` over ``items``; results in item order.
 
@@ -153,12 +157,17 @@ def run_tasks(task_fn: Callable,
     ``timings``, when given a list, receives one ``(chunk_id, items,
     seconds)`` tuple per completed dispatch unit — the per-worker
     wall-clock record campaign telemetry aggregates.
+
+    ``on_results`` is called **in the parent process** with each
+    completed dispatch unit's ``[(item_index, result), ...]`` pairs, in
+    completion (not item) order — the checkpoint hook: a crash loses at
+    most the chunks whose callback had not yet run.
     """
     items = list(items)
     jobs = min(resolve_jobs(jobs), len(items)) if items else 1
     if jobs <= 1:
         return _run_serial(task_fn, items, context, context_factory,
-                           factory_args, progress, timings)
+                           factory_args, progress, timings, on_results)
 
     methods = multiprocessing.get_all_start_methods()
     if "fork" in methods:
@@ -174,7 +183,7 @@ def run_tasks(task_fn: Callable,
                 "unavailable; falling back to serial execution",
                 RuntimeWarning, stacklevel=2)
             return _run_serial(task_fn, items, context, context_factory,
-                               factory_args, progress, timings)
+                               factory_args, progress, timings, on_results)
 
     size = chunk_size if chunk_size else default_chunk_size(len(items), jobs)
     indexed = list(enumerate(items))
@@ -192,6 +201,8 @@ def run_tasks(task_fn: Callable,
             done += len(chunk_results)
             if timings is not None:
                 timings.append((chunk_id, len(chunk_results), elapsed))
+            if on_results is not None:
+                on_results(list(chunk_results))
             if progress is not None:
                 progress(done, len(items), elapsed)
     return results

@@ -64,6 +64,10 @@ class ParallelProgram:
         if aconfig.entry != entry:
             raise ValueError("analysis entry %r != program entry %r"
                              % (aconfig.entry, entry))
+        #: Resolved configs, kept so the artifact store can compute the
+        #: program's content hash (source + every compile option).
+        self.analysis_config = aconfig
+        self.instrument_config = instrument_config
         self.analysis: SimilarityResult = analyze_module(self.protected, aconfig)
         self.metadata = instrument_module(self.protected, self.analysis,
                                           instrument_config)

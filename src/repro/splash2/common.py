@@ -49,13 +49,25 @@ class KernelSpec:
 
     def program(self, analysis_config: Optional[AnalysisConfig] = None) -> ParallelProgram:
         """Compile (and cache) the kernel.  A custom analysis config
-        bypasses the cache."""
+        bypasses the cache.
+
+        When a default :class:`repro.store.ArtifactStore` is configured
+        (``--store`` / ``$REPRO_STORE``), the compile goes through it, so
+        every harness touching the same kernel — figures, campaigns,
+        CLIs, other processes — shares one compiled artifact.
+        """
         if analysis_config is not None:
             return ParallelProgram(self.source, self.name, entry=self.entry,
                                    analysis_config=analysis_config)
         if self._program is None:
-            self._program = ParallelProgram(self.source, self.name,
-                                            entry=self.entry)
+            from repro.store.runtime import default_store
+            store = default_store()
+            if store is not None:
+                self._program = store.get_program(self.source, self.name,
+                                                  entry=self.entry)
+            else:
+                self._program = ParallelProgram(self.source, self.name,
+                                                entry=self.entry)
         return self._program
 
     def setup(self, nthreads: int, seed: int = 2012) -> "KernelSetup":

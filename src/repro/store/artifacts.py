@@ -1,0 +1,291 @@
+"""Content-addressed artifact cache for compiled programs + golden runs.
+
+On-disk layout (everything under one *store root*)::
+
+    <root>/store.json                    # {"schema": 1}
+    <root>/objects/<k[:2]>/<k>/meta.json # kind, sizes, created/last_used
+    <root>/objects/<k[:2]>/<k>/data.pkl  # versioned pickle payload
+    <root>/journals/                     # suggested campaign-journal home
+
+``<k>`` is the SHA-256 content address from :mod:`repro.store.hashing`,
+so a hit is *correct by construction*: any change to the source text or
+any compile option changes the key, and stale entries simply stop being
+addressed (no invalidation protocol — the LRU ``gc`` reclaims them).
+
+Payloads are wrapped as ``{"schema": ARTIFACT_SCHEMA, "kind": ...,
+"payload": obj}``: :meth:`ArtifactStore.load` raises
+:class:`~repro.errors.StoreSchemaError`/``StoreCorruptError`` on drift
+or damage, while the high-level :meth:`get_program`/:meth:`get_golden`
+paths treat any unusable entry as a miss and rebuild — a cache must
+never turn corruption into a failed campaign.
+
+Writes are atomic (temp file + ``os.replace``), so concurrent
+campaigns racing on a cold key at worst both compile and one rename
+wins — never a torn object.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import pickle
+import shutil
+import time
+from dataclasses import dataclass
+from typing import Callable, Dict, List, Optional, Tuple
+
+from repro.errors import StoreCorruptError, StoreError, StoreSchemaError
+from repro.store.hashing import (
+    ARTIFACT_SCHEMA,
+    golden_key,
+    program_key,
+)
+
+#: Environment variable naming the default store root.
+STORE_ENV = "REPRO_STORE"
+
+
+@dataclass
+class GoldenSummary:
+    """The golden-run facts a campaign needs (picklable, light).
+
+    ``signature`` is the **raw** (un-quantized) output signature for the
+    campaign's ``output_globals``; quantization happens per-campaign.
+    """
+
+    signature: tuple
+    branch_counts: Dict[int, int]
+    steps: int
+
+
+@dataclass
+class StoreEntry:
+    """One object as listed by :meth:`ArtifactStore.entries`."""
+
+    key: str
+    kind: str
+    name: str
+    size: int
+    created: float
+    last_used: float
+    path: str
+
+
+class ArtifactStore:
+    """One store root; safe to share across campaigns and CLIs."""
+
+    def __init__(self, root: str):
+        self.root = os.path.abspath(root)
+        self.objects = os.path.join(self.root, "objects")
+        self.journals_dir = os.path.join(self.root, "journals")
+        #: Process-local hit/miss bookkeeping, mirrored into any
+        #: telemetry collector handed to the lookup methods.
+        self.counters: Dict[str, int] = {}
+        os.makedirs(self.objects, exist_ok=True)
+        os.makedirs(self.journals_dir, exist_ok=True)
+        marker = os.path.join(self.root, "store.json")
+        if not os.path.exists(marker):
+            self._write_atomic(marker, json.dumps(
+                {"schema": ARTIFACT_SCHEMA}).encode("utf-8"))
+
+    # -- low-level object access ---------------------------------------
+
+    def _entry_dir(self, key: str) -> str:
+        return os.path.join(self.objects, key[:2], key)
+
+    @staticmethod
+    def _write_atomic(path: str, data: bytes) -> None:
+        tmp = path + ".tmp.%d" % os.getpid()
+        with open(tmp, "wb") as handle:
+            handle.write(data)
+            handle.flush()
+            os.fsync(handle.fileno())
+        os.replace(tmp, path)
+
+    def put(self, key: str, kind: str, payload, name: str = "") -> None:
+        """Store ``payload`` under ``key`` (atomic, overwrites)."""
+        directory = self._entry_dir(key)
+        os.makedirs(directory, exist_ok=True)
+        blob = pickle.dumps(
+            {"schema": ARTIFACT_SCHEMA, "kind": kind, "payload": payload},
+            protocol=pickle.HIGHEST_PROTOCOL)
+        self._write_atomic(os.path.join(directory, "data.pkl"), blob)
+        now = time.time()
+        meta = {"schema": ARTIFACT_SCHEMA, "key": key, "kind": kind,
+                "name": name, "size": len(blob),
+                "created": now, "last_used": now}
+        self._write_atomic(os.path.join(directory, "meta.json"),
+                           json.dumps(meta, sort_keys=True).encode("utf-8"))
+
+    def load(self, key: str, kind: str, touch: bool = True):
+        """Strict load: raises :class:`StoreError` subclasses on any
+        problem.  Returns the stored payload."""
+        directory = self._entry_dir(key)
+        data_path = os.path.join(directory, "data.pkl")
+        if not os.path.exists(data_path):
+            raise StoreError("no %s object %s in store %s"
+                             % (kind, key[:12], self.root))
+        try:
+            with open(data_path, "rb") as handle:
+                wrapper = pickle.load(handle)
+        except Exception as exc:
+            raise StoreCorruptError(
+                "store object %s is unreadable: %s" % (key[:12], exc)) from None
+        if not isinstance(wrapper, dict) or "payload" not in wrapper:
+            raise StoreCorruptError(
+                "store object %s has no payload wrapper" % key[:12])
+        if wrapper.get("schema") != ARTIFACT_SCHEMA:
+            raise StoreSchemaError(
+                "store object %s uses artifact schema %r; this build "
+                "reads schema %d" % (key[:12], wrapper.get("schema"),
+                                     ARTIFACT_SCHEMA))
+        if wrapper.get("kind") != kind:
+            raise StoreCorruptError(
+                "store object %s is a %r, expected %r"
+                % (key[:12], wrapper.get("kind"), kind))
+        if touch:
+            self._touch(directory)
+        return wrapper["payload"]
+
+    def _touch(self, directory: str) -> None:
+        meta_path = os.path.join(directory, "meta.json")
+        try:
+            with open(meta_path, "r", encoding="utf-8") as handle:
+                meta = json.load(handle)
+            meta["last_used"] = time.time()
+            self._write_atomic(meta_path,
+                               json.dumps(meta, sort_keys=True).encode("utf-8"))
+        except (OSError, ValueError):
+            pass  # LRU freshness is advisory; never fail a hit over it
+
+    def delete(self, key: str) -> bool:
+        directory = self._entry_dir(key)
+        if not os.path.isdir(directory):
+            return False
+        shutil.rmtree(directory, ignore_errors=True)
+        return True
+
+    def _count(self, name: str, telemetry=None) -> None:
+        self.counters[name] = self.counters.get(name, 0) + 1
+        if telemetry is not None:
+            telemetry.count(name)
+
+    # -- high-level cached computations --------------------------------
+
+    def get_program(self, source: str, name: str = "program",
+                    entry: str = "slave", analysis_config=None,
+                    instrument_config=None, telemetry=None):
+        """The compile pipeline, memoized: returns a
+        :class:`~repro.runtime.program.ParallelProgram`, compiling only
+        on a cold (or unusable) entry.  Hits/misses land on the
+        ``store.cache.hit`` / ``store.cache.miss`` counters.
+        """
+        from repro.runtime.program import ParallelProgram
+        key = program_key(source, name, entry=entry,
+                          analysis_config=analysis_config,
+                          instrument_config=instrument_config)
+        try:
+            program = self.load(key, "program")
+            self._count("store.cache.hit", telemetry)
+            return program
+        except StoreError:
+            pass
+        self._count("store.cache.miss", telemetry)
+        program = ParallelProgram(source, name, entry=entry,
+                                  analysis_config=analysis_config,
+                                  instrument_config=instrument_config)
+        self.put(key, "program", program, name=name)
+        return program
+
+    def get_golden(self, prog_key: str, nthreads: int, seed: int,
+                   quantum: int, output_globals: Tuple[str, ...],
+                   compute: Callable[[], GoldenSummary],
+                   telemetry=None) -> GoldenSummary:
+        """One golden run per distinct input, shared across figures and
+        fault types (``store.golden.hit`` / ``store.golden.miss``)."""
+        key = golden_key(prog_key, nthreads, seed, quantum, output_globals)
+        try:
+            summary = self.load(key, "golden")
+            self._count("store.golden.hit", telemetry)
+            return summary
+        except StoreError:
+            pass
+        self._count("store.golden.miss", telemetry)
+        summary = compute()
+        self.put(key, "golden", summary,
+                 name="golden t=%d seed=%d" % (nthreads, seed))
+        return summary
+
+    def journal_path(self, label: str) -> str:
+        """Conventional journal location inside the store."""
+        return os.path.join(self.journals_dir, label + ".jsonl")
+
+    # -- maintenance (repro-store ls/gc/verify) -------------------------
+
+    def entries(self) -> List[StoreEntry]:
+        found = []
+        for prefix in sorted(os.listdir(self.objects)):
+            prefix_dir = os.path.join(self.objects, prefix)
+            if not os.path.isdir(prefix_dir):
+                continue
+            for key in sorted(os.listdir(prefix_dir)):
+                directory = os.path.join(prefix_dir, key)
+                meta_path = os.path.join(directory, "meta.json")
+                meta = {}
+                try:
+                    with open(meta_path, "r", encoding="utf-8") as handle:
+                        meta = json.load(handle)
+                except (OSError, ValueError):
+                    pass
+                size = meta.get("size")
+                if size is None:
+                    try:
+                        size = os.path.getsize(
+                            os.path.join(directory, "data.pkl"))
+                    except OSError:
+                        size = 0
+                found.append(StoreEntry(
+                    key=key, kind=meta.get("kind", "?"),
+                    name=meta.get("name", ""), size=int(size),
+                    created=float(meta.get("created", 0.0)),
+                    last_used=float(meta.get("last_used", 0.0)),
+                    path=directory))
+        return found
+
+    def total_bytes(self) -> int:
+        return sum(entry.size for entry in self.entries())
+
+    def gc(self, max_entries: Optional[int] = None,
+           max_bytes: Optional[int] = None,
+           dry_run: bool = False) -> List[StoreEntry]:
+        """Least-recently-used eviction down to the given bounds.
+        Returns the evicted (or would-be evicted) entries."""
+        entries = sorted(self.entries(), key=lambda e: e.last_used,
+                         reverse=True)  # newest first; evict from the tail
+        evict: List[StoreEntry] = []
+        if max_entries is not None and len(entries) > max_entries:
+            evict.extend(entries[max_entries:])
+            entries = entries[:max_entries]
+        if max_bytes is not None:
+            used = sum(e.size for e in entries)
+            while entries and used > max_bytes:
+                victim = entries.pop()
+                used -= victim.size
+                evict.append(victim)
+        if not dry_run:
+            for entry in evict:
+                self.delete(entry.key)
+        return evict
+
+    def verify(self, delete: bool = False) -> List[Tuple[StoreEntry, str]]:
+        """Check every object strictly; returns ``(entry, problem)``
+        pairs (optionally deleting the broken ones)."""
+        problems = []
+        for entry in self.entries():
+            try:
+                self.load(entry.key, entry.kind, touch=False)
+            except StoreError as exc:
+                problems.append((entry, str(exc)))
+                if delete:
+                    self.delete(entry.key)
+        return problems

@@ -1,0 +1,143 @@
+"""Stable structural hashing for the durable store.
+
+Every cache decision in :mod:`repro.store` reduces to "is this the same
+computation?", answered by hashing the computation's *inputs*:
+
+``program_key``
+    source text + compile options (entry, analysis config, instrument
+    config) + the artifact schema version.  Two processes — today's and
+    yesterday's — that would compile the same instrumented image derive
+    the same key, so the frontend → IR → analysis → instrument pipeline
+    runs at most once per distinct input.
+
+``plan_fingerprint``
+    the identity of one campaign *plan*: program key, fault model, and
+    every :class:`~repro.faults.campaign.CampaignConfig` knob (plus
+    whether telemetry was recorded).  A journal stamped with this hash
+    can only resume a campaign that would redo the exact same work.
+
+``golden_key`` / ``golden_fingerprint``
+    the inputs, respectively outputs, of a golden run.  The key caches
+    the run; the fingerprint (recorded in journals) catches environment
+    drift — a resumed campaign whose re-run golden differs from the one
+    the journal was written against must not silently merge.
+
+Everything is SHA-256 over a canonical JSON encoding (sorted keys, no
+whitespace) — no ``hash()``, no ``pickle``, no ``repr`` of dicts — so
+the keys are stable across processes, ``PYTHONHASHSEED`` values, and
+Python versions.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import hashlib
+import json
+from typing import Dict, Optional, Tuple
+
+#: Version of the artifact serialization (pickled programs, golden
+#: summaries).  Bump when the pickled object graph changes shape.
+ARTIFACT_SCHEMA = 1
+
+#: Version of the campaign-journal line format.  Bump when header or
+#: record fields change incompatibly.
+JOURNAL_SCHEMA = 1
+
+
+def canonical_json(value) -> str:
+    """Deterministic JSON: sorted keys, minimal separators."""
+    return json.dumps(value, sort_keys=True, separators=(",", ":"))
+
+
+def _digest(payload: dict) -> str:
+    return hashlib.sha256(canonical_json(payload).encode("utf-8")).hexdigest()
+
+
+def _config_dict(config) -> Optional[dict]:
+    """A dataclass config as a plain dict (None stays None = defaults)."""
+    if config is None:
+        return None
+    return dataclasses.asdict(config)
+
+
+def program_key(source: str, name: str, entry: str = "slave",
+                analysis_config=None, instrument_config=None) -> str:
+    """Content address of one compiled :class:`ParallelProgram`.
+
+    ``name`` participates: it is stamped into module names and campaign
+    statistics, so two names are two (user-visible) artifacts even over
+    identical source.
+    """
+    return _digest({
+        "schema": ARTIFACT_SCHEMA,
+        "kind": "program",
+        "source": source,
+        "name": name,
+        "entry": entry,
+        "analysis": _config_dict(analysis_config),
+        "instrument": _config_dict(instrument_config),
+    })
+
+
+def program_key_of(program) -> str:
+    """The content address of an already-compiled program."""
+    return program_key(program.source, program.name, entry=program.entry,
+                       analysis_config=getattr(program, "analysis_config", None),
+                       instrument_config=getattr(program, "instrument_config",
+                                                 None))
+
+
+def plan_fingerprint(prog_key: str, fault_type, config,
+                     telemetry: bool = False) -> Tuple[str, dict]:
+    """``(hash, plan dict)`` identifying one campaign plan.
+
+    The plan dict is stored alongside the hash in journal headers so a
+    mismatch can be reported field-by-field instead of as an opaque
+    digest difference.
+    """
+    plan = {
+        "schema": JOURNAL_SCHEMA,
+        "program_key": prog_key,
+        "fault_type": fault_type.value,
+        "nthreads": config.nthreads,
+        "injections": config.injections,
+        "seed": config.seed,
+        "output_globals": list(config.output_globals),
+        "quantize_bits": config.quantize_bits,
+        "hang_factor": config.hang_factor,
+        "quantum": config.quantum,
+        "telemetry": bool(telemetry),
+    }
+    return _digest(plan), plan
+
+
+def describe_plan_mismatch(recorded: dict, current: dict) -> str:
+    """Readable field-by-field diff of two plan dicts."""
+    keys = sorted(set(recorded) | set(current))
+    diffs = ["%s: journal=%r, campaign=%r"
+             % (key, recorded.get(key), current.get(key))
+             for key in keys if recorded.get(key) != current.get(key)]
+    return "; ".join(diffs) if diffs else "(no field differences)"
+
+
+def golden_key(prog_key: str, nthreads: int, seed: int, quantum: int,
+               output_globals: Tuple[str, ...]) -> str:
+    """Cache key of one golden run (inputs only)."""
+    return _digest({
+        "schema": ARTIFACT_SCHEMA,
+        "kind": "golden",
+        "program_key": prog_key,
+        "nthreads": nthreads,
+        "seed": seed,
+        "quantum": quantum,
+        "output_globals": list(output_globals),
+    })
+
+
+def golden_fingerprint(signature, branch_counts: Dict[int, int],
+                       steps: int) -> str:
+    """Hash of a golden run's *outputs* (signature, per-thread dynamic
+    branch counts, step count).  ``repr`` of the nested int/float tuples
+    is stable, which JSON (no tuples, no int keys) is not."""
+    payload = repr((signature, sorted(branch_counts.items()), int(steps)))
+    return hashlib.sha256(payload.encode("utf-8")).hexdigest()

@@ -1,0 +1,56 @@
+"""Process-wide default store configuration.
+
+Campaigns, kernels, and CLIs all consult one optional *default store*:
+``None`` (the initial state, and the state when ``REPRO_STORE`` is
+unset) means every caching path is disabled and the package behaves
+exactly as it did before :mod:`repro.store` existed — compilation and
+golden runs happen inline, nothing touches disk.
+
+Resolution order for :func:`default_store`:
+
+1. a store installed with :func:`set_default_store` (CLIs do this for
+   their ``--store`` flag);
+2. the ``REPRO_STORE`` environment variable (also how worker processes
+   of a spawn pool inherit the setting);
+3. nothing — caching off.
+"""
+
+from __future__ import annotations
+
+import os
+from typing import Optional
+
+from repro.store.artifacts import STORE_ENV, ArtifactStore
+
+#: The installed store; a one-element list so tests can monkeypatch.
+_DEFAULT: list = [None]
+
+
+def set_default_store(store: Optional[ArtifactStore]) -> None:
+    """Install (or with ``None``, clear) the process default store."""
+    _DEFAULT[0] = store
+
+
+def default_store() -> Optional[ArtifactStore]:
+    """The active store, or ``None`` when caching is disabled."""
+    if _DEFAULT[0] is not None:
+        return _DEFAULT[0]
+    root = os.environ.get(STORE_ENV, "").strip()
+    if root:
+        store = ArtifactStore(root)
+        _DEFAULT[0] = store
+        return store
+    return None
+
+
+def open_store(path: Optional[str] = None,
+               install: bool = False) -> Optional[ArtifactStore]:
+    """CLI helper: ``path`` or ``$REPRO_STORE`` or ``None``; optionally
+    install the result as the process default."""
+    if path:
+        store = ArtifactStore(path)
+    else:
+        store = default_store()
+    if install and store is not None:
+        set_default_store(store)
+    return store

@@ -1,0 +1,89 @@
+"""Versioned (de)serialization of campaign records for the journal.
+
+Everything the journal stores round-trips through plain JSON types so a
+journal is inspectable with standard tools (``jq``, the telemetry
+validator) and survives Python upgrades.  The contract that makes
+resumed campaigns *identical* to uninterrupted ones:
+
+* :class:`FaultSpec` fields are ints/strings — exact round-trip;
+* outcomes serialize by enum value — exact round-trip;
+* per-injection :class:`TelemetrySnapshot` objects use the snapshot's
+  own ``to_dict``/``from_dict`` (events carry only JSON scalars by the
+  telemetry module's determinism rules, so ``==`` holds after a trip).
+
+``RECORD_SCHEMA`` is stamped on every line; a reader that sees a newer
+(or unknown) version must refuse rather than guess.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Tuple
+
+from repro.errors import StoreCorruptError
+from repro.faults.models import FaultSpec, FaultType
+from repro.faults.outcomes import Outcome
+from repro.telemetry import TelemetrySnapshot
+
+#: Version of one serialized InjectionRecord.
+RECORD_SCHEMA = 1
+
+
+def spec_to_dict(spec: FaultSpec) -> dict:
+    return {
+        "fault_type": spec.fault_type.value,
+        "thread_id": spec.thread_id,
+        "branch_index": spec.branch_index,
+        "bit": spec.bit,
+        "rng_seed": spec.rng_seed,
+    }
+
+
+def spec_from_dict(data: dict) -> FaultSpec:
+    try:
+        return FaultSpec(
+            fault_type=FaultType(data["fault_type"]),
+            thread_id=int(data["thread_id"]),
+            branch_index=int(data["branch_index"]),
+            bit=None if data.get("bit") is None else int(data["bit"]),
+            rng_seed=int(data.get("rng_seed", 0)))
+    except (KeyError, ValueError, TypeError) as exc:
+        raise StoreCorruptError("malformed fault spec %r: %s"
+                                % (data, exc)) from None
+
+
+def record_to_dict(index: int, record) -> dict:
+    """One completed injection as a journal line payload."""
+    return {
+        "kind": "injection",
+        "schema": RECORD_SCHEMA,
+        "index": index,
+        "spec": spec_to_dict(record.spec),
+        "outcome": record.outcome.value,
+        "baseline_outcome": record.baseline_outcome.value,
+        "flipped_branch": bool(record.flipped_branch),
+        "detail": record.detail,
+        "telemetry": (None if record.telemetry is None
+                      else record.telemetry.to_dict()),
+    }
+
+
+def record_from_dict(data: dict) -> Tuple[int, "InjectionRecord"]:
+    """Rebuild ``(index, InjectionRecord)`` from a journal line."""
+    from repro.faults.campaign import InjectionRecord
+    try:
+        index = int(data["index"])
+        telemetry: Optional[TelemetrySnapshot] = None
+        if data.get("telemetry") is not None:
+            telemetry = TelemetrySnapshot.from_dict(data["telemetry"])
+        record = InjectionRecord(
+            spec=spec_from_dict(data["spec"]),
+            outcome=Outcome(data["outcome"]),
+            baseline_outcome=Outcome(data["baseline_outcome"]),
+            flipped_branch=bool(data["flipped_branch"]),
+            detail=data.get("detail", ""),
+            telemetry=telemetry)
+    except StoreCorruptError:
+        raise
+    except (KeyError, ValueError, TypeError) as exc:
+        raise StoreCorruptError("malformed injection record: %s" % exc) from None
+    return index, record

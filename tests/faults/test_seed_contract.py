@@ -1,0 +1,98 @@
+"""Golden-value regression tests: the seed-derivation compatibility
+contract.
+
+Campaign journals written by :mod:`repro.store` identify work by
+injection *index* and replan the missing indices on resume.  That is
+only sound if ``injection_seed`` and ``plan_injection`` produce exactly
+the same values forever: a journal written by an older build must be
+resumable by a newer one without re-running (or mis-planning) the
+injections it already recorded.
+
+The values pinned here were produced by the derivation scheme
+introduced with the parallel engine (blake2b-8 counter-mode over
+``(base_seed, "injection", fault_type.value, index)``) and MUST NOT
+change.  If one of these assertions fails, you have broken every
+existing journal and artifact store: bump
+:data:`repro.store.JOURNAL_SCHEMA` and document the migration instead
+of updating the constants.
+"""
+
+from repro.faults import FaultType, injection_seed, plan_injection
+from repro.parallel import derive_seed
+
+BASE_SEED = 12345
+
+#: injection_seed(12345, fault_type, 0..4) — frozen forever.
+PINNED_SEEDS = {
+    FaultType.BRANCH_FLIP: [
+        3477022001218799078,
+        2752610543125094116,
+        5280828469709559974,
+        8180491476710048268,
+        12189632188643362099,
+    ],
+    FaultType.BRANCH_CONDITION: [
+        3799584561068092394,
+        7579638868438597179,
+        17766684190570498283,
+        1481929861693866168,
+        17768326310570268066,
+    ],
+}
+
+#: Dynamic branch counts of a fictional golden run; any stable mapping
+#: works — what is pinned is the (thread, branch, rng_seed) choices the
+#: planner derives from it.
+BRANCH_COUNTS = {1: 40, 2: 37, 3: 41, 4: 36}
+
+#: (fault type, index) -> (thread_id, branch_index, bit, rng_seed)
+PINNED_PLANS = {
+    (FaultType.BRANCH_FLIP, 0): (1, 40, None, 903117698),
+    (FaultType.BRANCH_FLIP, 1): (1, 16, None, 1699650958),
+    (FaultType.BRANCH_FLIP, 2): (3, 32, None, 693943913),
+    (FaultType.BRANCH_FLIP, 99): (2, 33, None, 92527216),
+    (FaultType.BRANCH_CONDITION, 0): (3, 5, None, 737511351),
+    (FaultType.BRANCH_CONDITION, 1): (2, 36, None, 813976845),
+    (FaultType.BRANCH_CONDITION, 2): (4, 10, None, 1600249000),
+    (FaultType.BRANCH_CONDITION, 99): (4, 12, None, 1191826830),
+}
+
+
+class TestDeriveSeedContract:
+    def test_base_derivations_pinned(self):
+        assert derive_seed(0) == 7881388936124425723
+        assert derive_seed(0, "a") == 12686407798700693291
+
+    def test_injection_path_pinned(self):
+        assert (derive_seed(BASE_SEED, "injection", "branch-flip", 0)
+                == 3477022001218799078)
+
+
+class TestInjectionSeedContract:
+    def test_pinned_values(self):
+        for fault_type, expected in PINNED_SEEDS.items():
+            got = [injection_seed(BASE_SEED, fault_type, i)
+                   for i in range(len(expected))]
+            assert got == expected, (
+                "injection_seed changed for %s — this breaks every "
+                "existing campaign journal" % fault_type.value)
+
+    def test_independent_of_partitioning(self):
+        # Seeds are pure functions of (base, type, index): computing
+        # index 3 alone equals computing it after 0..2.
+        lone = injection_seed(BASE_SEED, FaultType.BRANCH_FLIP, 3)
+        assert lone == PINNED_SEEDS[FaultType.BRANCH_FLIP][3]
+
+
+class TestPlanInjectionContract:
+    def test_pinned_plans(self):
+        for (fault_type, index), expected in PINNED_PLANS.items():
+            spec = plan_injection(fault_type, BRANCH_COUNTS,
+                                  BASE_SEED, index)
+            got = (spec.thread_id, spec.branch_index, spec.bit,
+                   spec.rng_seed)
+            assert got == expected, (
+                "plan_injection changed for (%s, %d) — journals written "
+                "by older stores would resume with a different fault "
+                "plan" % (fault_type.value, index))
+            assert spec.fault_type is fault_type

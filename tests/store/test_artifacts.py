@@ -1,0 +1,130 @@
+"""ArtifactStore: cache hits, corruption healing, LRU gc, verify."""
+
+import os
+import pickle
+import time
+
+import pytest
+
+from repro.errors import StoreCorruptError, StoreError, StoreSchemaError
+from repro.store import ARTIFACT_SCHEMA, ArtifactStore, program_key
+from repro.telemetry import Telemetry
+from tests.conftest import FIGURE_1
+
+
+@pytest.fixture
+def store(tmp_path):
+    return ArtifactStore(str(tmp_path / "store"))
+
+
+class TestProgramCache:
+    def test_miss_then_hit(self, store):
+        first = store.get_program(FIGURE_1, "fig1")
+        assert store.counters == {"store.cache.miss": 1}
+        second = store.get_program(FIGURE_1, "fig1")
+        assert store.counters["store.cache.hit"] == 1
+        # The hit deserializes an equivalent, runnable program.
+        assert second.name == first.name
+        assert second.checked_branch_count() == first.checked_branch_count()
+
+    def test_hit_lands_on_telemetry(self, store):
+        store.get_program(FIGURE_1, "fig1")
+        tel = Telemetry()
+        store.get_program(FIGURE_1, "fig1", telemetry=tel)
+        assert tel.snapshot().counter("store.cache.hit") == 1
+
+    def test_loaded_program_runs(self, store):
+        store.get_program(FIGURE_1, "fig1")
+        program = store.get_program(FIGURE_1, "fig1")
+
+        def setup(memory):
+            memory.set_scalar("nprocs", 2)
+            memory.set_array("gp", [5, 40] * 32)
+
+        result = program.run_protected(2, setup=setup)
+        assert result.status == "ok"
+
+    def test_corrupt_entry_is_a_miss_and_self_heals(self, store):
+        store.get_program(FIGURE_1, "fig1")
+        key = program_key(FIGURE_1, "fig1")
+        data = os.path.join(store._entry_dir(key), "data.pkl")
+        with open(data, "wb") as handle:
+            handle.write(b"not a pickle")
+        program = store.get_program(FIGURE_1, "fig1")
+        assert program.name == "fig1"
+        assert store.counters["store.cache.miss"] == 2
+        # healed: strict load works again
+        assert store.load(key, "program").name == "fig1"
+
+
+class TestStrictLoad:
+    def test_missing_raises(self, store):
+        with pytest.raises(StoreError):
+            store.load("0" * 64, "program")
+
+    def test_corrupt_raises(self, store):
+        store.put("a" * 64, "program", {"x": 1})
+        with open(os.path.join(store._entry_dir("a" * 64), "data.pkl"),
+                  "wb") as handle:
+            handle.write(b"\x80garbage")
+        with pytest.raises(StoreCorruptError):
+            store.load("a" * 64, "program")
+
+    def test_schema_mismatch_raises(self, store):
+        directory = store._entry_dir("b" * 64)
+        os.makedirs(directory)
+        with open(os.path.join(directory, "data.pkl"), "wb") as handle:
+            pickle.dump({"schema": ARTIFACT_SCHEMA + 1, "kind": "program",
+                         "payload": 1}, handle)
+        with pytest.raises(StoreSchemaError):
+            store.load("b" * 64, "program")
+
+    def test_kind_mismatch_raises(self, store):
+        store.put("c" * 64, "golden", {"x": 1})
+        with pytest.raises(StoreCorruptError):
+            store.load("c" * 64, "program")
+
+
+class TestMaintenance:
+    def fill(self, store, n):
+        for i in range(n):
+            store.put(("%02x" % i) * 32, "golden", {"i": i}, name="g%d" % i)
+
+    def test_entries_and_total(self, store):
+        self.fill(store, 3)
+        entries = store.entries()
+        assert len(entries) == 3
+        assert store.total_bytes() == sum(e.size for e in entries)
+
+    def test_gc_max_entries_evicts_lru(self, store):
+        self.fill(store, 4)
+        # Touch entry 0 so it is the freshest; 1 is now the oldest.
+        time.sleep(0.02)
+        store.load("00" * 32, "golden")
+        evicted = store.gc(max_entries=3)
+        assert len(evicted) == 1
+        assert evicted[0].key != "00" * 32
+        assert len(store.entries()) == 3
+
+    def test_gc_max_bytes(self, store):
+        self.fill(store, 4)
+        per = store.entries()[0].size
+        evicted = store.gc(max_bytes=2 * per)
+        assert len(evicted) == 2
+        assert store.total_bytes() <= 2 * per
+
+    def test_gc_dry_run(self, store):
+        self.fill(store, 2)
+        assert len(store.gc(max_entries=0, dry_run=True)) == 2
+        assert len(store.entries()) == 2
+
+    def test_verify_reports_and_deletes(self, store):
+        self.fill(store, 2)
+        bad = store.entries()[0]
+        with open(os.path.join(bad.path, "data.pkl"), "wb") as handle:
+            handle.write(b"junk")
+        problems = store.verify()
+        assert len(problems) == 1 and problems[0][0].key == bad.key
+        assert len(store.entries()) == 2  # report only
+        store.verify(delete=True)
+        assert len(store.entries()) == 1
