@@ -1,0 +1,141 @@
+"""Interpreter vs closure-backend steps/s at -O0/-O1/-O2 (the tentpole
+measurement of the block-closure compilation work).
+
+Four workloads: three SPLASH-2 kernels (radix, fft, water_nsquared) and
+a synthetic binop-dense kernel (40 ALU ops per loop iteration — the
+shape the closure backend exists for).  Every cell is first checked
+trace-identical against the -O0 interpreter run, then timed on a warm
+compile cache, so the table measures steady-state execution only.
+
+Results land in ``benchmarks/results/BENCH_interp.json`` (machine
+readable, per-cell steps/s plus the per-pass optimizer metrics) and a
+rendered text table.  The dense cell at closure -O2 must clear the
+>= 5x speedup acceptance floor.
+
+``REPRO_BENCH_REPEATS`` overrides the timing repeats (default 3; the
+best repeat wins, standard for throughput numbers).
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import time
+
+from repro.runtime import ParallelProgram
+from repro.splash2 import kernel
+
+RESULTS_DIR = os.path.join(os.path.dirname(__file__), "results")
+
+THREADS = 4
+SEED = 3
+KERNELS = ("radix", "fft", "water_nsquared")
+LEVELS = (0, 1, 2)
+SPEEDUP_FLOOR = 5.0
+
+_DENSE_BODY = "\n".join(
+    "    acc = acc + %d; acc = acc * 3; acc = acc - i; acc = acc ^ %d;"
+    % (k, k + 7) for k in range(10))
+
+#: 40 binops per iteration x 10000 iterations x 4 threads ~= 1.8M steps.
+DENSE_SOURCE = """
+global int out[4];
+func slave() {
+  local int acc;
+  local int i;
+  acc = 0;
+  for (i = 0; i <= 9999; i = i + 1) {
+%s
+  }
+  out[tid()] = acc;
+  output(acc);
+}
+""" % _DENSE_BODY
+
+
+def _workloads():
+    for name in KERNELS:
+        spec = kernel(name)
+        yield name, spec.source, spec.entry, spec.setup(THREADS)
+    yield "dense", DENSE_SOURCE, "slave", None
+
+
+def _signature(result):
+    return (str(result.status), result.steps, dict(result.cycles),
+            dict(result.branch_counts), tuple(result.outputs),
+            result.parallel_time)
+
+
+def _time_cell(program, setup, repeats):
+    program.run_baseline(THREADS, seed=SEED, setup=setup)  # warm caches
+    best = float("inf")
+    for _ in range(repeats):
+        started = time.perf_counter()
+        result = program.run_baseline(THREADS, seed=SEED, setup=setup)
+        best = min(best, time.perf_counter() - started)
+    return result, best
+
+
+def test_interp_vs_closure_speed(benchmark, save_result):
+    repeats = int(os.environ.get("REPRO_BENCH_REPEATS", "3"))
+    table = {}
+    opt_metrics = {}
+
+    def measure():
+        for name, source, entry, setup in _workloads():
+            cells = {}
+            reference = None
+            for backend in ("interpreter", "closure"):
+                for level in LEVELS:
+                    program = ParallelProgram(source, name, entry=entry,
+                                              opt_level=level,
+                                              backend=backend)
+                    if level and "O%d" % level not in opt_metrics.get(
+                            name, {}):
+                        summary = dict(program.baseline.opt_summary)
+                        summary.pop("module", None)
+                        opt_metrics.setdefault(name, {})[
+                            "O%d" % level] = summary
+                    result, seconds = _time_cell(program, setup, repeats)
+                    if reference is None:
+                        reference = _signature(result)
+                    assert _signature(result) == reference, (
+                        "trace divergence: %s %s -O%d"
+                        % (name, backend, level))
+                    cells["%s-O%d" % (backend, level)] = {
+                        "steps": result.steps,
+                        "seconds": seconds,
+                        "steps_per_second": result.steps / seconds,
+                    }
+            table[name] = cells
+        return table
+
+    benchmark.pedantic(measure, rounds=1, iterations=1)
+
+    lines = ["Interpreter vs closure backend (t=%d, seed=%d, best of %d)"
+             % (THREADS, SEED, repeats),
+             "  %-16s %14s %14s %9s" % ("workload", "interp -O0",
+                                        "closure -O2", "speedup")]
+    speedups = {}
+    for name, cells in table.items():
+        base = cells["interpreter-O0"]["steps_per_second"]
+        fast = cells["closure-O2"]["steps_per_second"]
+        speedups[name] = fast / base
+        lines.append("  %-16s %11.0f/s %11.0f/s %8.2fx"
+                     % (name, base, fast, fast / base))
+    payload = {
+        "threads": THREADS,
+        "seed": SEED,
+        "repeats": repeats,
+        "workloads": table,
+        "speedup_closure_o2": speedups,
+        "opt_metrics": opt_metrics,
+    }
+    os.makedirs(RESULTS_DIR, exist_ok=True)
+    with open(os.path.join(RESULTS_DIR, "BENCH_interp.json"), "w") as handle:
+        json.dump(payload, handle, indent=2, sort_keys=True)
+    save_result("interp_speed", "\n".join(lines))
+
+    assert speedups["dense"] >= SPEEDUP_FLOOR, (
+        "closure -O2 is %.2fx on the binop-dense kernel; the acceptance "
+        "floor is %.1fx" % (speedups["dense"], SPEEDUP_FLOOR))

@@ -56,11 +56,14 @@ class BlockWatch:
     def __init__(self, source: str, name: str = "program",
                  entry: str = "slave",
                  analysis_config: Optional[AnalysisConfig] = None,
-                 instrument_config: Optional[InstrumentConfig] = None):
+                 instrument_config: Optional[InstrumentConfig] = None,
+                 opt_level: Optional[int] = None,
+                 backend: Optional[str] = None):
         self.program = ParallelProgram(
             source, name, entry=entry,
             analysis_config=analysis_config,
-            instrument_config=instrument_config)
+            instrument_config=instrument_config,
+            opt_level=opt_level, backend=backend)
 
     @classmethod
     def from_program(cls, program: ParallelProgram) -> "BlockWatch":

@@ -70,15 +70,19 @@ def _make_blockwatch(args, store=None, telemetry=None) -> BlockWatch:
         source, name, entry = spec.source, spec.name, spec.entry
     else:
         source, name, entry = _load_source(args.program), "program", args.entry
+    opt_level = getattr(args, "opt_level", None)
+    backend = getattr(args, "backend", None)
     if store is not None:
         hits = store.counters.get("store.cache.hit", 0)
         program = store.get_program(source, name, entry=entry,
-                                    telemetry=telemetry)
+                                    telemetry=telemetry,
+                                    opt_level=opt_level, backend=backend)
         outcome = ("hit" if store.counters.get("store.cache.hit", 0) > hits
                    else "miss")
         print("store: program cache %s (%s)" % (outcome, name))
         return BlockWatch.from_program(program)
-    return BlockWatch(source, name=name, entry=entry)
+    return BlockWatch(source, name=name, entry=entry,
+                      opt_level=opt_level, backend=backend)
 
 
 def _parse_assignments(pairs: List[str]):
@@ -239,6 +243,14 @@ def main(argv=None) -> int:
             p.add_argument("--fill", action="append", default=[],
                            metavar="ARRAY=V0,V1,...",
                            help="fill an array global before the run")
+            p.add_argument("-O", "--opt-level", type=int, default=None,
+                           choices=(0, 1, 2), dest="opt_level",
+                           help="trace-preserving optimization level "
+                                "(default: $REPRO_OPT_LEVEL or 0)")
+            p.add_argument("--backend", default=None,
+                           choices=("interpreter", "closure"),
+                           help="execution backend (default: $REPRO_BACKEND "
+                                "or interpreter)")
 
     p_dump = sub.add_parser("dump", help="print the SSA IR")
     common(p_dump, with_run_opts=False)

@@ -51,6 +51,12 @@ class AnalysisError(ReproError):
     """A static-analysis pass was asked something it cannot answer."""
 
 
+class OptimizationError(ReproError):
+    """An optimizer pass was misconfigured or broke an invariant
+    (:mod:`repro.opt`).  Legality violations are caught by the verifier
+    re-run after every pass and surface as VerificationError instead."""
+
+
 class InstrumentationError(ReproError):
     """The instrumentation pass could not transform the module."""
 

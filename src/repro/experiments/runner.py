@@ -85,11 +85,27 @@ def main(argv=None) -> int:
                              "and golden runs across figures and "
                              "invocations (default: $REPRO_STORE, else "
                              "off); results are identical either way")
+    parser.add_argument("-O", "--opt-level", type=int, default=None,
+                        choices=(0, 1, 2), dest="opt_level",
+                        help="trace-preserving optimization level for every "
+                             "experiment (default: $REPRO_OPT_LEVEL or 0); "
+                             "results are identical at every level")
+    parser.add_argument("--backend", default=None,
+                        choices=("interpreter", "closure"),
+                        help="execution backend (default: $REPRO_BACKEND or "
+                             "interpreter); results are identical, the "
+                             "closure backend is just faster")
     args = parser.parse_args(argv)
     if args.jobs is not None:
         # The experiment thunks take no arguments; the jobs policy flows
         # through the environment (read by repro.parallel.resolve_jobs).
         os.environ["REPRO_JOBS"] = str(args.jobs)
+    if args.opt_level is not None:
+        # Same channel: ParallelProgram resolves these env knobs at
+        # construction, and spawn-pool workers inherit them.
+        os.environ["REPRO_OPT_LEVEL"] = str(args.opt_level)
+    if args.backend is not None:
+        os.environ["REPRO_BACKEND"] = args.backend
     from repro.store import open_store
     store = open_store(args.store, install=True)
     if store is not None:

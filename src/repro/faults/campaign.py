@@ -222,11 +222,13 @@ def _campaign_context_from_source(source: str, name: str, entry: str,
                                   fault_type: FaultType,
                                   config: CampaignConfig, setup,
                                   golden_signature, branch_counts,
-                                  max_steps, telemetry=False
+                                  max_steps, telemetry=False,
+                                  opt_level=0, backend="interpreter"
                                   ) -> _CampaignContext:
     """Spawn-pool factory: compile + analyze + instrument once per worker
     process and reuse it for every injection the worker executes."""
-    program = ParallelProgram(source, name, entry=entry)
+    program = ParallelProgram(source, name, entry=entry,
+                              opt_level=opt_level, backend=backend)
     return _CampaignContext(program=program, fault_type=fault_type,
                             config=config, setup=setup,
                             golden_signature=golden_signature,
@@ -417,7 +419,9 @@ def run_campaign(program: ParallelProgram,
             context_factory=_campaign_context_from_source,
             factory_args=(program.source, program.name, program.entry,
                           fault_type, config, setup, golden_signature,
-                          branch_counts, max_steps, telemetry),
+                          branch_counts, max_steps, telemetry,
+                          getattr(program, "opt_level", 0),
+                          getattr(program, "backend", "interpreter")),
             progress=progress, timings=timings, on_results=checkpoint)
     finally:
         if writer is not None:
@@ -487,8 +491,11 @@ class _TrialContext:
 
 def _trial_context_from_source(source: str, name: str, entry: str,
                                nthreads: int, base_seed: int,
-                               setup) -> _TrialContext:
-    return _TrialContext(program=ParallelProgram(source, name, entry=entry),
+                               setup, opt_level=0,
+                               backend="interpreter") -> _TrialContext:
+    return _TrialContext(program=ParallelProgram(source, name, entry=entry,
+                                                 opt_level=opt_level,
+                                                 backend=backend),
                          nthreads=nthreads, base_seed=base_seed, setup=setup)
 
 
@@ -517,5 +524,7 @@ def run_false_positive_trial(program: ParallelProgram, nthreads: int,
         _trial_task, range(runs), jobs=jobs, context=ctx,
         context_factory=_trial_context_from_source,
         factory_args=(program.source, program.name, program.entry,
-                      nthreads, base_seed, setup))
+                      nthreads, base_seed, setup,
+                      getattr(program, "opt_level", 0),
+                      getattr(program, "backend", "interpreter")))
     return sum(detections)

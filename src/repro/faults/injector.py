@@ -67,15 +67,15 @@ class InjectingHook(FaultHook):
                           if not isinstance(op, (Constant, GlobalVariable))]
             if candidates:
                 victim = rng.choice(candidates)
-                old = machine._value(frame, victim)
+                old = machine.read_value(frame, victim)
                 bit = self._pick_bit(rng, old)
                 new = flip_value_bit(old, bit)
                 # Persist: every later use of this register sees the
                 # corrupted value (this is what makes condition faults
                 # lead to SDCs beyond the branch itself).
-                frame.regs[id(victim)] = new
-                lhs = machine._value(frame, cond.lhs)
-                rhs = machine._value(frame, cond.rhs)
+                machine.write_reg(frame, victim, new)
+                lhs = machine.read_value(frame, cond.lhs)
+                rhs = machine.read_value(frame, cond.rhs)
                 new_taken = machine.evaluate_cmp(cond.op, lhs, rhs)
                 self.flipped_branch = new_taken != taken
                 self.detail = ("flipped bit %d of %s: %r -> %r"
@@ -86,7 +86,7 @@ class InjectingHook(FaultHook):
         self.flipped_branch = True
         self.detail = "flipped boolean condition register"
         if not isinstance(cond, Constant):
-            frame.regs[id(cond)] = not taken
+            machine.write_reg(frame, cond, not taken)
         return not taken
 
     def _pick_bit(self, rng: random.Random, value) -> int:

@@ -42,7 +42,7 @@ UNARY_OPS = ("neg", "not")
 class Instruction(Value):
     """Base class: an SSA register defined by one program point."""
 
-    __slots__ = ("operands", "parent", "vid")
+    __slots__ = ("operands", "parent", "vid", "ghost")
 
     opcode = "?"
 
@@ -54,6 +54,15 @@ class Instruction(Value):
         #: Dense numbering within the function, assigned by the printer
         #: and verifier for readable dumps; not semantically meaningful.
         self.vid: int = -1
+        #: Trace-preservation baggage attached by the optimizer: ``None``,
+        #: or ``(steps, kinds)`` accounting for instructions that were
+        #: deleted immediately before this one.  The runtime replays their
+        #: step count and cycle cost (resolved from ``kinds`` against the
+        #: active cost model) so optimized and unoptimized runs report
+        #: identical step totals and cycle clocks.  Read with
+        #: ``getattr(inst, "ghost", None)`` — programs unpickled from
+        #: stores written before this field existed lack the slot.
+        self.ghost = None
         for op in operands:
             self._append_operand(op)
 
@@ -353,6 +362,63 @@ class StoreElem(Instruction):
     def __repr__(self) -> str:
         return "storeelem %s[%s], %s" % (
             self.array.short(), self.index.short(), self.value.short())
+
+
+class ReadLocal(Instruction):
+    """Read the current value of a :class:`~repro.ir.values.LocalSlot`.
+
+    Only produced by the out-of-SSA translation; a module containing
+    these is in *non-SSA form* (slots carry merged values instead of phi
+    nodes) and is meant to be promoted back by ``to_ssa`` before any
+    SSA-based pass runs over it.
+    """
+
+    __slots__ = ()
+
+    opcode = "readlocal"
+
+    def __init__(self, slot: Value, name: str = ""):
+        from repro.ir.values import LocalSlot
+        if not isinstance(slot, LocalSlot):
+            raise TypeError("readlocal of non-slot %r" % (slot,))
+        super().__init__(slot.type, (slot,), name)
+
+    @property
+    def slot(self) -> Value:
+        return self.operands[0]
+
+    def __repr__(self) -> str:
+        return "%s: %s = readlocal %s" % (
+            self.short(), self.type, self.slot.short())
+
+
+class WriteLocal(Instruction):
+    """Write a value into a :class:`~repro.ir.values.LocalSlot`."""
+
+    __slots__ = ()
+
+    opcode = "writelocal"
+
+    def __init__(self, slot: Value, value: Value):
+        from repro.ir.values import LocalSlot
+        if not isinstance(slot, LocalSlot):
+            raise TypeError("writelocal to non-slot %r" % (slot,))
+        if value.type is not slot.type and not (
+                value.type.is_numeric and slot.type.is_numeric):
+            raise TypeError("writelocal of %s value to %s slot"
+                            % (value.type, slot.type))
+        super().__init__(VOID, (slot, value))
+
+    @property
+    def slot(self) -> Value:
+        return self.operands[0]
+
+    @property
+    def value(self) -> Value:
+        return self.operands[1]
+
+    def __repr__(self) -> str:
+        return "writelocal %s, %s" % (self.slot.short(), self.value.short())
 
 
 # ---------------------------------------------------------------------------

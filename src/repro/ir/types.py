@@ -28,6 +28,12 @@ class Type:
     def __init__(self, name: str):
         self.name = name
 
+    def __reduce__(self):
+        # Interning must survive pickling (the artifact store pickles
+        # whole programs): rebuild through the singleton table so
+        # ``x.type is INT`` stays valid on unpickled modules.
+        return (_interned_type, (self.name,))
+
     def __repr__(self) -> str:
         return self.name
 
@@ -58,6 +64,10 @@ class ArrayType(Type):
         self.element = element
         self.length = length
 
+    def __reduce__(self):
+        # Array types are not interned, but their elements are.
+        return (ArrayType, (self.element, self.length))
+
     @property
     def is_scalar(self) -> bool:
         return False
@@ -71,6 +81,17 @@ LOCK = Type("lock")
 BARRIER = Type("barrier")
 
 _SCALARS = {"int": INT, "float": FLOAT, "bool": BOOL}
+
+_INTERNED = {interned.name: interned
+             for interned in (INT, FLOAT, BOOL, VOID, LOCK, BARRIER)}
+
+
+def _interned_type(name: str) -> Type:
+    """Pickle constructor: resolve a type name back to its singleton."""
+    try:
+        return _INTERNED[name]
+    except KeyError:  # future non-interned scalar; identity not promised
+        return Type(name)
 
 
 def scalar_type(name: str) -> Type:

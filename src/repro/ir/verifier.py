@@ -35,7 +35,13 @@ from repro.ir.instructions import (
 )
 from repro.ir.module import Module
 from repro.ir.types import VOID
-from repro.ir.values import Argument, Constant, FunctionRef, GlobalVariable
+from repro.ir.values import (
+    Argument,
+    Constant,
+    FunctionRef,
+    GlobalVariable,
+    LocalSlot,
+)
 
 
 def verify_module(module: Module) -> None:
@@ -155,6 +161,11 @@ def _check_dominance(function: Function) -> None:
                         raise VerificationError(
                             "%s: use of foreign argument %%%s"
                             % (function.name, value.name))
+                elif isinstance(value, LocalSlot):
+                    # Slots are mutable cells, not SSA values: no dominance
+                    # requirement (out-of-SSA form is legal, just not
+                    # optimizable until promoted back).
+                    pass
                 elif not isinstance(value, (Constant, GlobalVariable, FunctionRef)):
                     raise VerificationError(
                         "%s: unknown operand kind %r" % (function.name, value))

@@ -10,8 +10,20 @@ from repro.runtime.interpreter import (
     ThreadContext,
     ThreadStatus,
 )
+from repro.runtime.closures import (
+    CODEGEN_VERSION,
+    ClosureMachine,
+    compile_module,
+    get_compiled,
+)
 from repro.runtime.memory import SharedMemory
-from repro.runtime.program import ParallelProgram, RunConfig
+from repro.runtime.program import (
+    BACKENDS,
+    ParallelProgram,
+    RunConfig,
+    resolve_backend,
+    resolve_opt_level,
+)
 from repro.runtime.sync import SimBarrier, SimMutex
 from repro.runtime.values import (
     INT_MAX,
@@ -29,6 +41,8 @@ __all__ = [
     "CostModel", "default_cost_model",
     "FaultHook", "Frame", "Machine", "RunResult", "ThreadContext",
     "ThreadStatus", "SharedMemory", "ParallelProgram", "RunConfig",
+    "BACKENDS", "resolve_backend", "resolve_opt_level",
+    "CODEGEN_VERSION", "ClosureMachine", "compile_module", "get_compiled",
     "SimBarrier", "SimMutex",
     "INT_MAX", "INT_MIN", "flip_float_bit", "flip_int_bit", "flip_value_bit",
     "float_to_int", "int_div", "int_mod", "wrap_int",

@@ -1,0 +1,1251 @@
+"""Block-closure compilation: the interpreter's hot path, precompiled.
+
+The tree-walking :class:`~repro.runtime.interpreter.Machine` pays a
+dict-dispatch, an operand walk, and a register-dict probe per executed
+instruction.  This backend compiles every basic block once, ahead of
+time, into *units*:
+
+* maximal runs of pure/branch-free instructions (arithmetic, casts,
+  memory, intrinsics) become one ``exec``-generated Python function with
+  operands resolved to flat register-list slots (or plain Python locals
+  for values that never escape the unit), cycle costs summed into a
+  single literal, and the program counter advanced once at the end;
+* control flow and synchronization (branch, jump, call, ret, lock,
+  barrier, monitor sends) become hand-built generic closures that mirror
+  the interpreter handlers *exactly*, with branch targets pre-resolved
+  to compiled blocks and phi edge-copies pre-generated per CFG edge.
+
+**Schedule identity.**  The scheduler draws jitter from a seeded RNG at
+every quantum decision, so run results are bit-identical to the
+interpreter only if quantum boundaries fall at the same cumulative step
+counts.  The quantum loop therefore dispatches a fused unit only when
+its full (static) step count fits the remaining budget; otherwise it
+falls back to per-instruction *single* closures — and to per-kind
+optimizer-ghost charging — exactly like the interpreter's quantum loop.
+Units never overshoot, scheduler decisions and RNG draws line up one to
+one, and golden traces match across backends.
+
+**Fault injection.**  The injector reads and corrupts victim registers
+through :meth:`Machine.read_value`/:meth:`Machine.write_reg`.  Every
+value the monitor or injector can observe (branch conditions, compare
+operands feeding branches, monitor-send operands — the same *frozen*
+set the optimizer respects) is always written to its register slot even
+inside fused units, so corruption lands in the slot and every later use
+observes it, exactly as in the interpreter.
+
+Known, accepted divergences (not observable in golden fingerprints or
+campaign outcome classification): on a guest *crash* mid-unit the
+partial unit's steps/cycles are not accounted (the interpreter loses
+its partial quantum the same way, just at instruction granularity), and
+for cost models whose costs are not exactly representable dyadic floats
+the single summed cycle literal can round differently from sequential
+addition (the default model is all dyadic, hence exact).
+"""
+
+from __future__ import annotations
+
+import math
+import weakref
+from dataclasses import astuple
+from typing import Any, Callable, Dict, List, Optional, Tuple
+
+from repro.errors import GuestCrash, GuestHang, SimulationError
+from repro.ir import (
+    BarrierWait,
+    BasicBlock,
+    BinOp,
+    Branch,
+    Call,
+    CallIndirect,
+    Cast,
+    Cmp,
+    Constant,
+    EnterLoop,
+    FLOAT,
+    Function,
+    FunctionRef,
+    GetTid,
+    INT,
+    Instruction,
+    Jump,
+    LoadElem,
+    LoadGlobal,
+    LocalSlot,
+    LockAcquire,
+    LockRelease,
+    LoopTick,
+    Module,
+    Output,
+    Phi,
+    ReadLocal,
+    Ret,
+    SendBranchCondition,
+    StoreElem,
+    StoreGlobal,
+    UnaryOp,
+    VOID,
+    Value,
+    WriteLocal,
+)
+from repro.monitor import ConditionMessage, OutcomeMessage
+from repro.runtime.costmodel import CostModel
+from repro.runtime.interpreter import Machine, ThreadContext, ThreadStatus
+from repro.runtime.values import float_to_int, int_div, int_mod
+
+#: Bump when generated code changes shape — part of every store key, so
+#: stale cached closure bundles can never be loaded into a new runtime.
+CODEGEN_VERSION = 1
+
+_RUNNABLE = ThreadStatus.RUNNABLE
+_DONE = ThreadStatus.DONE
+_BLOCKED_LOCK = ThreadStatus.BLOCKED_LOCK
+_BLOCKED_BARRIER = ThreadStatus.BLOCKED_BARRIER
+_BLOCKED_QUEUE = ThreadStatus.BLOCKED_QUEUE
+
+#: Instruction types a fused unit may contain: straight-line, no
+#: scheduling interaction (they may crash the guest — that aborts the
+#: whole run, so mid-unit crashes stay correct).
+_FUSIBLE = (BinOp, UnaryOp, Cmp, Cast, LoadGlobal, StoreGlobal, LoadElem,
+            StoreElem, GetTid, Output, EnterLoop, LoopTick, ReadLocal,
+            WriteLocal)
+
+_INFIX = {"add": "+", "sub": "-", "mul": "*", "and": "&", "or": "|",
+          "xor": "^"}
+_CMP_INFIX = {"eq": "==", "ne": "!=", "lt": "<", "le": "<=", "gt": ">",
+              "ge": ">="}
+
+#: Branch-free 64-bit two's-complement wrap, inlined into generated
+#: code (mirrors repro.runtime.values.wrap_int bit for bit).
+_WRAP = "((%s + 9223372036854775808) & 18446744073709551615) - 9223372036854775808"
+
+
+def _fdiv(lhs, rhs):
+    """Float division with the interpreter's IEEE zero-divisor rules."""
+    lhs, rhs = float(lhs), float(rhs)
+    if rhs == 0.0:
+        return (math.inf if lhs > 0
+                else (-math.inf if lhs < 0 else math.nan))
+    return lhs / rhs
+
+
+def _slot_default(type_):
+    if type_ is FLOAT:
+        return 0.0
+    if type_.name == "bool":
+        return False
+    return 0
+
+
+# ---------------------------------------------------------------------------
+# Compiled containers
+# ---------------------------------------------------------------------------
+
+
+class ClosureFrame:
+    """Activation record for the closure backend: flat register list."""
+
+    __slots__ = ("function", "cfunc", "block", "cblock", "index", "regs",
+                 "call_inst")
+
+    def __init__(self, function, cfunc, block, cblock, regs, call_inst):
+        self.function = function
+        self.cfunc = cfunc
+        self.block = block
+        self.cblock = cblock
+        self.index = 0
+        self.regs = regs
+        self.call_inst = call_inst
+
+
+class CompiledBlock:
+    """One basic block, compiled.
+
+    ``dispatch[i]`` is ``(segments, ghost_costs)``.  ``segments`` holds
+    ``(steps, fn)`` pairs, largest first, for every compiled segment
+    *starting* at instruction index ``i``: the quantum loop dispatches
+    the first one whose static step count (instructions + interior
+    replayed ghosts, excluding the leading instruction's own ghost,
+    which the loop charges per kind) fits the remaining budget, else
+    falls back to ``singles[i]``, which executes exactly instruction
+    ``i``.  Fused runs are covered by power-of-two-aligned segments so
+    a straight-line run longer than the scheduler quantum still mostly
+    executes through big compiled chunks.  ``ghost_costs`` is the
+    per-kind cycle tuple of instruction ``i``'s leading ghost.
+    """
+
+    __slots__ = ("block", "nphis", "dispatch", "singles", "edge_copy")
+
+    def __init__(self, block: BasicBlock, nphis: int):
+        self.block = block
+        self.nphis = nphis
+        self.dispatch: List[Tuple[Tuple[Tuple[int, Callable], ...],
+                                  Tuple[float, ...]]] = []
+        self.singles: List[Callable] = []
+        self.edge_copy: Dict[int, Callable] = {}
+
+
+class CompiledFunction:
+    __slots__ = ("function", "slot_of", "nslots", "param_slots",
+                 "slot_defaults", "blocks")
+
+    def __init__(self, function: Function):
+        self.function = function
+        self.slot_of: Dict[int, int] = {}
+        self.nslots = 0
+        self.param_slots: Tuple[int, ...] = ()
+        #: (slot, default) pairs for LocalSlots — the interpreter reads
+        #: unwritten locals as typed zeros, so the flat frame prefills.
+        self.slot_defaults: Tuple[Tuple[int, Any], ...] = ()
+        self.blocks: Dict[int, CompiledBlock] = {}
+
+    def make_frame(self, args: Tuple, call_inst=None) -> ClosureFrame:
+        regs: List[Any] = [None] * self.nslots
+        for slot, default in self.slot_defaults:
+            regs[slot] = default
+        for slot, value in zip(self.param_slots, args):
+            regs[slot] = value
+        entry = self.function.entry
+        return ClosureFrame(self.function, self, entry,
+                            self.blocks[id(entry)], regs, call_inst)
+
+
+class CompiledProgram:
+    __slots__ = ("module", "by_name", "by_id", "sources", "units",
+                 "cost_key", "nthreads")
+
+    def __init__(self, module: Module, cost_key, nthreads: int):
+        self.module = module
+        self.by_name: Dict[str, CompiledFunction] = {}
+        self.by_id: Dict[int, CompiledFunction] = {}
+        self.sources: Dict[str, str] = {}
+        #: Per-function unit metadata (bi, start, end, kind, seg_map) —
+        #: together with ``sources`` this is the storable compile result.
+        self.units: Dict[str, List] = {}
+        self.cost_key = cost_key
+        self.nthreads = nthreads
+
+    def bundle(self) -> Dict[str, Any]:
+        """Picklable artifact-store payload: everything a later process
+        needs to skip code *generation* (it still plans and ``exec``\\ s
+        against its own live module objects)."""
+        return {"version": CODEGEN_VERSION,
+                "functions": {name: {"source": self.sources[name],
+                                     "units": self.units[name]}
+                              for name in self.sources}}
+
+
+# ---------------------------------------------------------------------------
+# Planning
+# ---------------------------------------------------------------------------
+
+
+def _partition(block: BasicBlock) -> List[Tuple[int, int, str]]:
+    """Split a block's instruction list into units: each phi and each
+    non-fusible instruction alone, maximal fusible runs between."""
+    insts = block.instructions
+    units: List[Tuple[int, int, str]] = []
+    i, n = 0, len(insts)
+    while i < n:
+        inst = insts[i]
+        if isinstance(inst, Phi):
+            units.append((i, i + 1, "phi"))
+            i += 1
+        elif isinstance(inst, _FUSIBLE):
+            j = i
+            while j < n and isinstance(insts[j], _FUSIBLE):
+                j += 1
+            units.append((i, j, "fused"))
+            i = j
+        else:
+            units.append((i, i + 1, "generic"))
+            i += 1
+    return units
+
+
+class _Plan:
+    """Per-function compilation plan: slots, units, escape analysis."""
+
+    def __init__(self, function: Function, frozen):
+        self.function = function
+        self.frozen = frozen
+        slot_of: Dict[int, int] = {}
+
+        def alloc(value) -> int:
+            key = id(value)
+            slot = slot_of.get(key)
+            if slot is None:
+                slot = len(slot_of)
+                slot_of[key] = slot
+            return slot
+
+        self.param_slots = tuple(alloc(p) for p in function.params)
+        defaults = []
+        for block in function.blocks:
+            for inst in block.instructions:
+                if isinstance(inst, (ReadLocal, WriteLocal)):
+                    slot = inst.slot
+                    if id(slot) not in slot_of:
+                        defaults.append((alloc(slot),
+                                         _slot_default(slot.type)))
+                if inst.type is not VOID:
+                    alloc(inst)
+        self.slot_of = slot_of
+        self.slot_defaults = tuple(defaults)
+        self.nslots = len(slot_of)
+        self.units = {id(b): _partition(b) for b in function.blocks}
+        #: id(inst) -> (id(block), position) for escape analysis.
+        self.pos_of: Dict[int, Tuple[int, int]] = {}
+        for block in function.blocks:
+            for pos, inst in enumerate(block.instructions):
+                self.pos_of[id(inst)] = (id(block), pos)
+
+    def escapes(self, inst: Instruction, block: BasicBlock,
+                start: int, end: int) -> bool:
+        """True when ``inst``'s value is observable outside its fused
+        unit: used by another unit/block, by a phi, or frozen (the
+        injector may read or corrupt its register at a branch)."""
+        if id(inst) in self.frozen:
+            return True
+        bid = id(block)
+        for user in inst.uses:
+            if isinstance(user, Phi):
+                return True
+            where = self.pos_of.get(id(user))
+            if where is None or where[0] != bid:
+                return True
+            if not (start <= where[1] < end):
+                return True
+        return False
+
+
+# ---------------------------------------------------------------------------
+# Code generation (fused units, singles, edge copies)
+# ---------------------------------------------------------------------------
+
+
+class _FunctionCodegen:
+    def __init__(self, fi: int, function: Function, plan: _Plan,
+                 cost: CostModel, nthreads: int,
+                 func_index: Dict[str, int]):
+        self.fi = fi
+        self.function = function
+        self.plan = plan
+        self.cost = cost
+        self.nthreads = nthreads
+        self.func_index = func_index
+        self.mem_cost = cost.memory_cost(nthreads)
+        self.block_index = {id(b): i for i, b in enumerate(function.blocks)}
+        self.chunks: List[str] = []
+
+    # -- value references --------------------------------------------------
+
+    def _ref(self, value: Value, local_names: Dict[int, str]) -> str:
+        if isinstance(value, Constant):
+            return "(%r)" % (value.value,)
+        if isinstance(value, FunctionRef):
+            return "%d" % self.func_index[value.function_name]
+        name = local_names.get(id(value))
+        if name is not None:
+            return name
+        return "regs[%d]" % self.plan.slot_of[id(value)]
+
+    def _inst_cost(self, inst: Instruction) -> float:
+        cost = self.cost
+        if isinstance(inst, BinOp):
+            return cost.binop_cost(inst.op, inst.type is FLOAT)
+        if isinstance(inst, Cmp):
+            return cost.cmp
+        if isinstance(inst, UnaryOp):
+            return cost.alu
+        if isinstance(inst, Cast):
+            return cost.cast
+        if isinstance(inst, (LoadGlobal, StoreGlobal, LoadElem, StoreElem)):
+            return self.mem_cost
+        if isinstance(inst, (GetTid, EnterLoop, LoopTick)):
+            return cost.intrinsic
+        if isinstance(inst, Output):
+            return cost.output
+        if isinstance(inst, (ReadLocal, WriteLocal)):
+            return cost.alu
+        raise SimulationError("no cost for %r" % inst)  # pragma: no cover
+
+    def _expr(self, inst: Instruction, local_names: Dict[int, str],
+              needs) -> str:
+        """The value expression for one fusible, result-producing
+        instruction — semantics mirror the interpreter handlers."""
+        ref = lambda v: self._ref(v, local_names)
+        if isinstance(inst, BinOp):
+            lhs, rhs = ref(inst.lhs), ref(inst.rhs)
+            op = inst.op
+            is_float = inst.type is FLOAT
+            if op in _INFIX:
+                expr = "%s %s %s" % (lhs, _INFIX[op], rhs)
+            elif op == "shl":
+                expr = "%s << (%s & 63)" % (lhs, rhs)
+            elif op == "shr":
+                expr = "%s >> (%s & 63)" % (lhs, rhs)
+            elif op in ("min", "max"):
+                expr = "%s(%s, %s)" % (op, lhs, rhs)
+            elif op == "div":
+                if is_float:
+                    return "_fdiv(%s, %s)" % (lhs, rhs)
+                needs.add("tid")
+                expr = "_idiv(%s, %s, tid)" % (lhs, rhs)
+            elif op == "mod":
+                needs.add("tid")
+                expr = "_imod(%s, %s, tid)" % (lhs, rhs)
+            else:  # pragma: no cover - constructor rejects unknown ops
+                raise SimulationError("unknown binop %s" % op)
+            if inst.type is INT:
+                return _WRAP % ("(%s)" % expr)
+            if is_float:
+                return "float(%s)" % expr
+            return expr
+        if isinstance(inst, Cmp):
+            return "%s %s %s" % (ref(inst.lhs), _CMP_INFIX[inst.op],
+                                 ref(inst.rhs))
+        if isinstance(inst, UnaryOp):
+            value = ref(inst.value)
+            if inst.op == "neg":
+                if inst.type is INT:
+                    return _WRAP % ("(-%s)" % value)
+                return "float(-%s)" % value
+            return "not %s" % value
+        if isinstance(inst, Cast):
+            value = ref(inst.value)
+            if inst.kind == "itof":
+                return "float(%s)" % value
+            if inst.kind == "ftoi":
+                needs.add("tid")
+                return "_ftoi(%s, tid)" % value
+            return "(1 if %s else 0)" % value
+        if isinstance(inst, LoadGlobal):
+            needs.add("tid"), needs.add("mem")
+            return "mem.read_scalar(%r, tid)" % inst.global_.name
+        if isinstance(inst, LoadElem):
+            needs.add("tid"), needs.add("mem")
+            return "mem.read_elem(%r, %s, tid)" % (inst.array.name,
+                                                   ref(inst.index))
+        if isinstance(inst, GetTid):
+            needs.add("tid")
+            return "tid"
+        if isinstance(inst, ReadLocal):
+            return "regs[%d]" % self.plan.slot_of[id(inst.slot)]
+        raise SimulationError("no expr for %r" % inst)  # pragma: no cover
+
+    def _stmt(self, inst: Instruction, local_names: Dict[int, str],
+              needs) -> List[str]:
+        """Statement lines for a void fusible instruction."""
+        ref = lambda v: self._ref(v, local_names)
+        if isinstance(inst, StoreGlobal):
+            needs.add("tid"), needs.add("mem")
+            return ["mem.write_scalar(%r, %s, tid)"
+                    % (inst.global_.name, ref(inst.value))]
+        if isinstance(inst, StoreElem):
+            needs.add("tid"), needs.add("mem")
+            return ["mem.write_elem(%r, %s, %s, tid)"
+                    % (inst.array.name, ref(inst.index), ref(inst.value))]
+        if isinstance(inst, Output):
+            return ["thread.outputs.append(%s)" % ref(inst.value)]
+        if isinstance(inst, EnterLoop):
+            return ["thread.loop_iters[%d] = -1" % inst.loop_id]
+        if isinstance(inst, LoopTick):
+            lid = inst.loop_id
+            return ["_li = thread.loop_iters",
+                    "_li[%d] = _li.get(%d, -1) + 1" % (lid, lid)]
+        if isinstance(inst, WriteLocal):
+            return ["regs[%d] = %s" % (self.plan.slot_of[id(inst.slot)],
+                                       ref(inst.value))]
+        raise SimulationError("no stmt for %r" % inst)  # pragma: no cover
+
+    # -- emitters ----------------------------------------------------------
+
+    def emit_run(self, name: str, block: BasicBlock, start: int, end: int,
+                 force_slots: bool, tail_jump: Optional[Jump] = None
+                 ) -> Tuple[str, int]:
+        """Generate one unit function for instructions [start, end) of
+        ``block``; returns (function name, static step count).
+
+        With ``force_slots`` (the per-instruction *singles* variant)
+        every result goes to its register slot and ghosts are ignored —
+        the quantum loop replays them per kind on that path.  With
+        ``tail_jump`` (the unconditional terminator following ``end``)
+        the block exit is folded in: phi edge-copy inline, the frame
+        retargeted to the successor, one extra step charged.
+        """
+        plan = self.plan
+        insts = block.instructions
+        body: List[str] = []
+        needs: set = set()
+        local_names: Dict[int, str] = {}
+        cycles = 0.0
+        steps = 0
+        for pos in range(start, end):
+            inst = insts[pos]
+            if not force_slots and pos != start:
+                ghost = getattr(inst, "ghost", None)
+                if ghost is not None:
+                    # Interior replayed ghosts: cycles folded into the
+                    # unit's literal (sequential compile-time sum),
+                    # steps into its static count.
+                    for kind in ghost[1]:
+                        cycles += self.cost.ghost_kind_cost(kind,
+                                                            self.nthreads)
+                    steps += ghost[0]
+            if inst.type is VOID:
+                body.extend(self._stmt(inst, local_names, needs))
+            else:
+                expr = self._expr(inst, local_names, needs)
+                slot = plan.slot_of[id(inst)]
+                if force_slots:
+                    body.append("regs[%d] = %s" % (slot, expr))
+                elif not inst.uses and id(inst) not in plan.frozen:
+                    # Dead value: evaluate for crash parity, discard.
+                    body.append(expr)
+                else:
+                    escapes = self.plan.escapes(inst, block, start, end)
+                    used_in_run = any(
+                        plan.pos_of.get(id(user), (None, -1))[0] == id(block)
+                        and start <= plan.pos_of[id(user)][1] < end
+                        and not isinstance(user, Phi)
+                        for user in inst.uses)
+                    if used_in_run:
+                        local = "v%d" % slot
+                        body.append("%s = %s" % (local, expr))
+                        local_names[id(inst)] = local
+                        if escapes:
+                            body.append("regs[%d] = %s" % (slot, local))
+                    else:
+                        body.append("regs[%d] = %s" % (slot, expr))
+            cycles += self._inst_cost(inst)
+            steps += 1
+        if tail_jump is not None:
+            ghost = getattr(tail_jump, "ghost", None)
+            if ghost is not None:
+                for kind in ghost[1]:
+                    cycles += self.cost.ghost_kind_cost(kind, self.nthreads)
+                steps += ghost[0]
+            target = tail_jump.target
+            ti = self.block_index[id(target)]
+            phis = target.phis()
+            for n, phi in enumerate(phis):
+                body.append("t%d = %s"
+                            % (n, self._ref(phi.incoming_for(block),
+                                            local_names)))
+            for n, phi in enumerate(phis):
+                body.append("regs[%d] = t%d"
+                            % (plan.slot_of[id(phi)], n))
+            cycles += self.cost.jump
+            steps += 1
+            body.append("frame.block = B_%d_%d" % (self.fi, ti))
+            body.append("frame.cblock = C_%d_%d" % (self.fi, ti))
+            body.append("frame.index = %d" % len(phis))
+        else:
+            body.append("frame.index = %d" % end)
+        if cycles:
+            body.append("thread.cycles += %r" % cycles)
+        body.append("return %d" % steps)
+        header = ["def %s(machine, thread, frame):" % name,
+                  "    regs = frame.regs"]
+        if "tid" in needs:
+            header.append("    tid = thread.tid")
+        if "mem" in needs:
+            header.append("    mem = machine.memory")
+        self.chunks.append("\n".join(header)
+                           + "\n" + "\n".join("    " + line for line in body)
+                           + "\n")
+        return name, steps
+
+    def emit_segments(self, fi: int, bi: int, block: BasicBlock,
+                      start: int, end: int) -> Dict[int, List[Tuple[int, str]]]:
+        """Compile fused segments covering the run [start, end).
+
+        One full-run segment (when short enough to ever fit a quantum),
+        plus power-of-two-sized segments aligned to the run start, so
+        the quantum loop can cover any remaining budget mostly with
+        large chunks.  Returns {position: [(steps, name), ...]}.
+        """
+        segments: Dict[int, List[Tuple[int, str]]] = {}
+        n = end - start
+        insts = block.instructions
+        tail = insts[end] if end < len(insts) else None
+        tail_jump = tail if isinstance(tail, Jump) else None
+        if n <= 64:
+            name, steps = self.emit_run("g_%d_%d_%d_%d" % (fi, bi, start, n),
+                                        block, start, end, force_slots=False,
+                                        tail_jump=tail_jump)
+            segments.setdefault(start, []).append((steps, name))
+        size = 1
+        while size * 2 <= min(n, 32):
+            size *= 2
+            if size == n and n <= 64:
+                continue  # already emitted as the full-run segment
+            for offset in range(0, n - size + 1, size):
+                position = start + offset
+                name, steps = self.emit_run(
+                    "g_%d_%d_%d_%d" % (fi, bi, position, size),
+                    block, position, position + size, force_slots=False,
+                    tail_jump=(tail_jump if offset + size == n else None))
+                segments.setdefault(position, []).append((steps, name))
+        return segments
+
+    def emit_phi_skip(self, name: str, position: int) -> str:
+        """Stepping onto a phi just skips it (mirrors _exec_phi)."""
+        self.chunks.append(
+            "def %s(machine, thread, frame):\n"
+            "    frame.index = %d\n"
+            "    return 1\n" % (name, position + 1))
+        return name
+
+    def emit_edge_copy(self, name: str, target: BasicBlock,
+                       pred: BasicBlock) -> Optional[str]:
+        """Parallel phi-copy for the CFG edge pred -> target."""
+        plan = self.plan
+        phis = list(target.phis())
+        if not phis:
+            return None
+        reads: List[str] = []
+        writes: List[str] = []
+        for n, phi in enumerate(phis):
+            source = phi.incoming_for(pred)
+            reads.append("t%d = %s" % (n, self._ref(source, {})))
+            writes.append("regs[%d] = t%d" % (plan.slot_of[id(phi)], n))
+        self.chunks.append("def %s(regs):\n" % name
+                           + "\n".join("    " + line
+                                       for line in reads + writes)
+                           + "\n")
+        return name
+
+    def source(self) -> str:
+        return "\n".join(self.chunks)
+
+
+# ---------------------------------------------------------------------------
+# Generic (non-fusible) units — hand-built closures mirroring handlers
+# ---------------------------------------------------------------------------
+
+
+def _reader(value: Value, slot_of: Dict[int, int],
+            func_index: Dict[str, int]):
+    """A regs -> value callable for one operand of a generic unit."""
+    if isinstance(value, Constant):
+        const = value.value
+        return lambda regs: const
+    if isinstance(value, FunctionRef):
+        index = func_index[value.function_name]
+        return lambda regs: index
+    slot = slot_of[id(value)]
+    return lambda regs: regs[slot]
+
+
+def _make_generic(program: CompiledProgram, cfunc: CompiledFunction,
+                  inst: Instruction, position: int,
+                  func_index: Dict[str, int]) -> Callable:
+    slot_of = cfunc.slot_of
+    next_index = position + 1
+
+    if isinstance(inst, Branch):
+        cond_read = _reader(inst.cond, slot_of, func_index)
+        info = inst.bw_info
+        then_block, else_block = inst.then_block, inst.else_block
+        then_cb = cfunc.blocks[id(then_block)]
+        else_cb = cfunc.blocks[id(else_block)]
+        bid = id(inst.parent)
+        then_copy = then_cb.edge_copy.get(bid)
+        else_copy = else_cb.edge_copy.get(bid)
+        then_entry = then_cb.nphis
+        else_entry = else_cb.nphis
+
+        def branch_unit(machine, thread, frame, _inst=inst):
+            regs = frame.regs
+            taken = bool(cond_read(regs))
+            thread.branch_count += 1
+            taken = machine.hook.before_branch(machine, thread, _inst,
+                                               frame, taken)
+            thread.cycles += machine.cost.branch
+            if info is not None and machine.monitor is not None:
+                message = OutcomeMessage(
+                    info=info, thread_id=thread.tid,
+                    key=machine._runtime_key(thread, info), taken=taken)
+                thread.cycles += machine._send_cost
+                if not machine.monitor.try_send(thread.tid, message):
+                    thread.pending = ("branch", message,
+                                      then_block if taken else else_block)
+                    thread.status = _BLOCKED_QUEUE
+                    thread.cycles += machine.cost.stall
+                    return 1
+            if taken:
+                if then_copy is not None:
+                    then_copy(regs)
+                frame.block = then_block
+                frame.cblock = then_cb
+                frame.index = then_entry
+            else:
+                if else_copy is not None:
+                    else_copy(regs)
+                frame.block = else_block
+                frame.cblock = else_cb
+                frame.index = else_entry
+            return 1
+
+        return branch_unit
+
+    if isinstance(inst, Jump):
+        target = inst.target
+        target_cb = cfunc.blocks[id(target)]
+        copy = target_cb.edge_copy.get(id(inst.parent))
+        entry = target_cb.nphis
+
+        def jump_unit(machine, thread, frame):
+            thread.cycles += machine.cost.jump
+            if copy is not None:
+                copy(frame.regs)
+            frame.block = target
+            frame.cblock = target_cb
+            frame.index = entry
+            return 1
+
+        return jump_unit
+
+    if isinstance(inst, Ret):
+        value_read = (None if inst.value is None
+                      else _reader(inst.value, slot_of, func_index))
+
+        def ret_unit(machine, thread, frame):
+            value = None if value_read is None else value_read(frame.regs)
+            frames = thread.frames
+            frames.pop()
+            thread.cycles += machine.cost.call
+            if not frames:
+                thread.status = _DONE
+                return 1
+            caller = frames[-1]
+            call_inst = frame.call_inst
+            if call_inst is not None:
+                if thread.callsite_key:
+                    thread.callsite_key = thread.callsite_key[:-1]
+                slot = caller.cfunc.slot_of.get(id(call_inst))
+                if value is not None:
+                    if slot is not None:
+                        caller.regs[slot] = value
+                elif call_inst.type.is_scalar:
+                    caller.regs[slot] = 0  # void callee, wild indirect call
+            caller.index += 1
+            return 1
+
+        return ret_unit
+
+    if isinstance(inst, Call):
+        readers = [_reader(a, slot_of, func_index) for a in inst.operands]
+        callee_cf = program.by_id[id(inst.callee)]
+
+        def call_unit(machine, thread, frame, _inst=inst):
+            regs = frame.regs
+            args = tuple(read(regs) for read in readers)
+            thread.callsite_key = thread.callsite_key + (_inst.callsite_id,)
+            if len(thread.frames) >= 200:
+                raise GuestCrash("call stack overflow", thread.tid)
+            thread.frames.append(callee_cf.make_frame(args, call_inst=_inst))
+            thread.cycles += machine.cost.call
+            return 1
+
+        return call_unit
+
+    if isinstance(inst, CallIndirect):
+        target_read = _reader(inst.target, slot_of, func_index)
+        readers = [_reader(a, slot_of, func_index) for a in inst.args]
+
+        def callptr_unit(machine, thread, frame, _inst=inst):
+            regs = frame.regs
+            target = target_read(regs)
+            callee = (machine.module.function_at(target)
+                      if isinstance(target, int) else None)
+            if callee is None:
+                raise GuestCrash(
+                    "indirect call through invalid pointer %r" % (target,),
+                    thread.tid)
+            args = tuple(read(regs) for read in readers)
+            if len(args) != len(callee.params):
+                raise GuestCrash(
+                    "wild indirect call: %s expects %d args, got %d"
+                    % (callee.name, len(callee.params), len(args)),
+                    thread.tid)
+            coerced = []
+            for param, arg in zip(callee.params, args):
+                if param.type is FLOAT and isinstance(arg, int):
+                    arg = float(arg)
+                elif param.type is INT and isinstance(arg, float):
+                    raise GuestCrash(
+                        "wild indirect call: float passed to int "
+                        "parameter of %s" % callee.name, thread.tid)
+                coerced.append(arg)
+            thread.callsite_key = thread.callsite_key + (_inst.callsite_id,)
+            if len(thread.frames) >= 200:
+                raise GuestCrash("call stack overflow", thread.tid)
+            thread.frames.append(
+                program.by_id[id(callee)].make_frame(tuple(coerced),
+                                                     call_inst=_inst))
+            thread.cycles += machine.cost.call
+            return 1
+
+        return callptr_unit
+
+    if isinstance(inst, LockAcquire):
+        name = inst.lock.name
+
+        def lock_unit(machine, thread, frame):
+            mutex = machine.mutexes[name]
+            if mutex.owner == thread.tid:
+                # Re-acquisition after being woken by the releaser.
+                frame.index = next_index
+                return 1
+            if mutex.try_acquire(thread.tid):
+                thread.cycles = max(
+                    thread.cycles + machine.cost.lock_base,
+                    mutex.last_release + machine.cost.lock_transfer)
+                frame.index = next_index
+            else:
+                thread.status = _BLOCKED_LOCK
+            return 1
+
+        return lock_unit
+
+    if isinstance(inst, LockRelease):
+        name = inst.lock.name
+
+        def unlock_unit(machine, thread, frame):
+            mutex = machine.mutexes[name]
+            if mutex.owner != thread.tid:
+                raise GuestCrash("unlock of @%s not held by thread"
+                                 % mutex.name, thread.tid)
+            woken_tid = mutex.release(thread.tid, thread.cycles)
+            thread.cycles += machine.cost.lock_base
+            frame.index = next_index
+            if woken_tid is not None:
+                woken = machine.threads[woken_tid]
+                woken.status = _RUNNABLE
+                handoff = mutex.last_release + machine.cost.lock_transfer
+                if handoff > woken.cycles:
+                    machine.sync_wait_cycles += handoff - woken.cycles
+                    woken.cycles = handoff
+                woken.frames[-1].index += 1  # past its LockAcquire
+            return 1
+
+        return unlock_unit
+
+    if isinstance(inst, BarrierWait):
+        name = inst.barrier.name
+
+        def barrier_unit(machine, thread, frame):
+            barrier = machine.barriers[name]
+            frame.index = next_index  # resume after the barrier
+            if barrier.arrive(thread.tid, thread.cycles):
+                participants = list(barrier.arrived.keys())
+                release_at = barrier.release() + machine._barrier_cost
+                for tid in participants:
+                    other = machine.threads[tid]
+                    if release_at > other.cycles:
+                        machine.sync_wait_cycles += release_at - other.cycles
+                        other.cycles = release_at
+                    if other is not thread:
+                        other.status = _RUNNABLE
+            else:
+                thread.status = _BLOCKED_BARRIER
+            return 1
+
+        return barrier_unit
+
+    if isinstance(inst, SendBranchCondition):
+        info = inst.info
+        readers = [_reader(v, slot_of, func_index) for v in inst.operands]
+
+        def send_unit(machine, thread, frame):
+            regs = frame.regs
+            values = tuple(read(regs) for read in readers)
+            message = ConditionMessage(
+                info=info, thread_id=thread.tid,
+                key=machine._runtime_key(thread, info), values=values)
+            thread.cycles += machine._send_cost
+            if machine.monitor is not None and not machine.monitor.try_send(
+                    thread.tid, message):
+                thread.pending = ("send", message)
+                thread.status = _BLOCKED_QUEUE
+                thread.cycles += machine.cost.stall
+                return 1
+            frame.index = next_index
+            return 1
+
+        return send_unit
+
+    raise SimulationError("no generic unit for %r" % inst)  # pragma: no cover
+
+
+# ---------------------------------------------------------------------------
+# Module compilation
+# ---------------------------------------------------------------------------
+
+
+def _exec_env() -> Dict[str, Any]:
+    return {"_idiv": int_div, "_imod": int_mod, "_ftoi": float_to_int,
+            "_fdiv": _fdiv, "inf": math.inf, "nan": math.nan}
+
+
+def _bundle_usable(namespace: Dict[str, Any], fi: int, function,
+                   unit_meta) -> bool:
+    """Does the exec'd warm source define every name phase 3 (and the
+    edge-copy fill) will look up for this function?"""
+    for bi, start, end, kind, seg_map in unit_meta:
+        if kind != "generic":
+            for pos in range(start, end):
+                if "s_%d_%d_%d" % (fi, bi, pos) not in namespace:
+                    return False
+        for entries in seg_map.values():
+            for _steps, name in entries:
+                if name not in namespace:
+                    return False
+    for bi, block in enumerate(function.blocks):
+        if not any(True for _ in block.phis()):
+            continue
+        for pi in range(len(block.predecessors())):
+            if "e_%d_%d_%d" % (fi, bi, pi) not in namespace:
+                return False
+    return True
+
+
+def compile_module(module: Module, cost: Optional[CostModel] = None,
+                   nthreads: int = 1,
+                   bundle: Optional[Dict[str, Any]] = None) -> CompiledProgram:
+    """Compile every function of ``module`` for the closure backend.
+
+    ``bundle`` (from a warm artifact store, see
+    :meth:`CompiledProgram.bundle`) short-circuits code *generation*
+    only: the plan and ``exec`` phases always re-run against the live
+    module objects, so a stale bundle can at worst waste time, not
+    corrupt semantics — a bundle whose unit layout or names disagree
+    with the fresh plan is discarded per-function.
+    """
+    from repro.opt.legality import compute_frozen  # lazy: avoid import cycle
+
+    if cost is None:
+        cost = CostModel()
+    warm_functions: Dict[str, Any] = {}
+    if bundle and bundle.get("version") == CODEGEN_VERSION:
+        warm_functions = bundle.get("functions", {}) or {}
+    program = CompiledProgram(module, astuple(cost), nthreads)
+    func_index = {f.name: i for i, f in enumerate(module.function_table)}
+    plans: Dict[str, _Plan] = {}
+    generated: Dict[str, str] = {}
+
+    # Phase 1: plan + shells (blocks must exist before units prebind).
+    for function in module.function_table:
+        plan = _Plan(function, compute_frozen(function))
+        plans[function.name] = plan
+        cfunc = CompiledFunction(function)
+        cfunc.slot_of = plan.slot_of
+        cfunc.nslots = plan.nslots
+        cfunc.param_slots = plan.param_slots
+        cfunc.slot_defaults = plan.slot_defaults
+        for block in function.blocks:
+            nphis = sum(1 for _ in block.phis())
+            cfunc.blocks[id(block)] = CompiledBlock(block, nphis)
+        program.by_name[function.name] = cfunc
+        program.by_id[id(function)] = cfunc
+
+    # Phase 2: generate + exec per-function source (fused units, singles,
+    # phi skips, edge copies), then fill edge copies.
+    namespaces: Dict[str, Dict[str, Any]] = {}
+    for fi, function in enumerate(module.function_table):
+        plan = plans[function.name]
+        fresh_units = [(bi, start, end, kind)
+                       for bi, block in enumerate(function.blocks)
+                       for start, end, kind in plan.units[id(block)]]
+        source = None
+        unit_meta: Optional[List[Tuple[int, int, int, str, Dict]]] = None
+        warm = warm_functions.get(function.name)
+        if warm is not None:
+            stored = [tuple(entry) for entry in warm.get("units", ())]
+            if ([entry[:4] for entry in stored] == fresh_units
+                    and warm.get("source")):
+                source = warm["source"]
+                unit_meta = stored
+        if source is not None:
+            namespace = _exec_env()
+            try:
+                exec(compile(source, "<closures:%s>" % function.name,
+                             "exec"), namespace)
+            except SyntaxError:
+                source = None
+            else:
+                if not _bundle_usable(namespace, fi, function, unit_meta):
+                    source = None
+        if source is None:  # cold (or rejected warm entry): generate
+            gen = _FunctionCodegen(fi, function, plan, cost, nthreads,
+                                   func_index)
+            unit_meta = []
+            for bi, block in enumerate(function.blocks):
+                for start, end, kind in plan.units[id(block)]:
+                    if kind == "fused":
+                        seg_map = gen.emit_segments(fi, bi, block, start, end)
+                    else:
+                        seg_map = {}
+                    unit_meta.append((bi, start, end, kind, seg_map))
+                    for pos in range(start, end):
+                        inst = block.instructions[pos]
+                        if isinstance(inst, Phi):
+                            gen.emit_phi_skip("s_%d_%d_%d" % (fi, bi, pos),
+                                              pos)
+                        elif isinstance(inst, _FUSIBLE):
+                            gen.emit_run("s_%d_%d_%d" % (fi, bi, pos), block,
+                                         pos, pos + 1, force_slots=True)
+                for pi, pred in enumerate(block.predecessors()):
+                    gen.emit_edge_copy("e_%d_%d_%d" % (fi, bi, pi), block,
+                                       pred)
+            source = gen.source()
+            namespace = _exec_env()
+            exec(compile(source, "<closures:%s>" % function.name, "exec"),
+                 namespace)
+        generated[function.name] = source
+        program.units[function.name] = unit_meta
+        # Fused jumps retarget frames through these globals (the block
+        # shells exist since phase 1).
+        cfunc = program.by_name[function.name]
+        for ti, tblock in enumerate(function.blocks):
+            namespace["B_%d_%d" % (fi, ti)] = tblock
+            namespace["C_%d_%d" % (fi, ti)] = cfunc.blocks[id(tblock)]
+        namespaces[function.name] = namespace
+        function._closure_unit_meta = unit_meta  # consumed in phase 3
+
+    # Phase 2b: edge copies into block shells (branch/jump units prebind
+    # them, so this must complete before phase 3).
+    for fi, function in enumerate(module.function_table):
+        cfunc = program.by_name[function.name]
+        namespace = namespaces[function.name]
+        for bi, block in enumerate(function.blocks):
+            cblock = cfunc.blocks[id(block)]
+            for pi, pred in enumerate(block.predecessors()):
+                copy = namespace.get("e_%d_%d_%d" % (fi, bi, pi))
+                if copy is not None:
+                    cblock.edge_copy[id(pred)] = copy
+
+    # Phase 3: assemble dispatch/singles tables.
+    for fi, function in enumerate(module.function_table):
+        cfunc = program.by_name[function.name]
+        namespace = namespaces[function.name]
+        unit_meta = function._closure_unit_meta
+        del function._closure_unit_meta
+        blocks = function.blocks
+        for block in blocks:
+            cblock = cfunc.blocks[id(block)]
+            n = len(block.instructions)
+            cblock.dispatch = [None] * n
+            cblock.singles = [None] * n
+        for bi, start, end, kind, seg_map in unit_meta:
+            block = blocks[bi]
+            cblock = cfunc.blocks[id(block)]
+            insts = block.instructions
+            if kind == "phi":
+                unit_fn = namespace["s_%d_%d_%d" % (fi, bi, start)]
+            elif kind == "generic":
+                unit_fn = _make_generic(program, cfunc, insts[start], start,
+                                        func_index)
+            else:
+                unit_fn = None
+            for pos in range(start, end):
+                inst = insts[pos]
+                ghost = getattr(inst, "ghost", None)
+                gcosts = (tuple(cost.ghost_kind_cost(kind_, nthreads)
+                                for kind_ in ghost[1])
+                          if ghost is not None else ())
+                if kind == "fused":
+                    # Larger segments have strictly larger step counts,
+                    # so a descending sort is unambiguous.
+                    segments = tuple(
+                        (steps, namespace[name]) for steps, name in
+                        sorted(seg_map.get(pos, ()), reverse=True))
+                else:
+                    segments = ((1, unit_fn),)
+                cblock.dispatch[pos] = (segments, gcosts)
+                if kind == "generic":
+                    cblock.singles[pos] = unit_fn
+                else:
+                    cblock.singles[pos] = namespace["s_%d_%d_%d"
+                                                    % (fi, bi, pos)]
+    program.sources = generated
+    return program
+
+
+#: Per-module compile cache: (cost tuple, nthreads) -> CompiledProgram.
+#: Weak keys — dropping the module drops its compiled code.
+_COMPILE_CACHE: "weakref.WeakKeyDictionary[Module, Dict]" = (
+    weakref.WeakKeyDictionary())
+
+
+def get_compiled(module: Module, cost: Optional[CostModel] = None,
+                 nthreads: int = 1,
+                 telemetry=None) -> CompiledProgram:
+    """compile_module, memoized twice over.
+
+    In-process: per-module WeakKey cache keyed on (cost tuple,
+    nthreads).  Cross-process: when a default artifact store is active
+    (``$REPRO_STORE`` / ``set_default_store``), the generated source
+    bundle is content-addressed on the printed IR + cost model + thread
+    count + codegen version, so repeated campaigns skip the string-
+    building half of compilation (``store.closure.hit`` /
+    ``store.closure.miss``).
+    """
+    if cost is None:
+        cost = CostModel()
+    per_module = _COMPILE_CACHE.get(module)
+    if per_module is None:
+        per_module = {}
+        _COMPILE_CACHE[module] = per_module
+    key = (astuple(cost), nthreads)
+    compiled = per_module.get(key)
+    if compiled is None:
+        from repro.store.runtime import default_store
+        store = default_store()
+        if store is None:
+            compiled = compile_module(module, cost, nthreads)
+        else:
+            from repro.ir.printer import print_module
+            from repro.store.hashing import closure_key
+            skey = closure_key(print_module(module), astuple(cost),
+                               nthreads, CODEGEN_VERSION)
+            holder: Dict[str, CompiledProgram] = {}
+
+            def _compute() -> Dict[str, Any]:
+                holder["compiled"] = compile_module(module, cost, nthreads)
+                return holder["compiled"].bundle()
+
+            bundle = store.get_closure(skey, _compute, telemetry=telemetry)
+            compiled = holder.get("compiled")
+            if compiled is None:  # warm hit: rebuild closures from bundle
+                compiled = compile_module(module, cost, nthreads,
+                                          bundle=bundle)
+        per_module[key] = compiled
+    return compiled
+
+
+# ---------------------------------------------------------------------------
+# The machine
+# ---------------------------------------------------------------------------
+
+
+class ClosureMachine(Machine):
+    """Drop-in Machine replacement executing compiled block closures.
+
+    Reuses the scheduler loop, blocked-thread resolution, monitor
+    integration, and result assembly of the base class; only frame
+    representation, quantum execution, and control transfer differ.
+    """
+
+    def __init__(self, module: Module, nthreads: int,
+                 compiled: Optional[CompiledProgram] = None, **kwargs):
+        super().__init__(module, nthreads, **kwargs)
+        if compiled is None:
+            compiled = get_compiled(module, self.cost, nthreads,
+                                    telemetry=self.telemetry)
+        elif compiled.module is not module:
+            raise SimulationError(
+                "compiled program belongs to a different module")
+        self.compiled = compiled
+        entry_cf = compiled.by_name[self.entry_name]
+        for thread in self.threads:
+            thread.frames = [entry_cf.make_frame(())]
+        self._quantum_fn = self._run_quantum
+
+    # -- quantum execution -------------------------------------------------
+
+    def _run_quantum(self, thread: ThreadContext) -> None:
+        frames = thread.frames
+        runnable = _RUNNABLE
+        executed = 0
+        quantum = self.quantum
+        while executed < quantum and thread.status is runnable:
+            frame = frames[-1]
+            cblock = frame.cblock
+            index = frame.index
+            segments, gcosts = cblock.dispatch[index]
+            if gcosts:
+                # Leading-instruction ghost: replay per kind so quantum
+                # boundaries land exactly where the -O0 run puts them.
+                done = thread.ghost_skip
+                ng = len(gcosts)
+                if done < ng:
+                    cycles = thread.cycles
+                    while done < ng and executed < quantum:
+                        cycles += gcosts[done]
+                        done += 1
+                        executed += 1
+                    thread.cycles = cycles
+                    if done < ng or executed >= quantum:
+                        thread.ghost_skip = done
+                        break
+                    thread.ghost_skip = done
+            budget = quantum - executed
+            for steps, fn in segments:
+                if steps <= budget:
+                    executed += fn(self, thread, frame)
+                    break
+            else:
+                # No compiled segment fits the remaining budget (or we
+                # resumed at an unaligned mid-run index): execute one
+                # instruction, interpreter-style.
+                cblock.singles[index](self, thread, frame)
+                executed += 1
+            if gcosts:
+                thread.ghost_skip = 0
+        thread.steps += executed
+        self.total_steps += executed
+        if self.total_steps > self.max_steps:
+            raise GuestHang("exceeded %d interpreted instructions"
+                            % self.max_steps)
+
+    def _step(self, thread: ThreadContext) -> None:
+        """Single-step (tests/debugging): one instruction via its
+        single closure, full ghost charged up front."""
+        frame = thread.frames[-1]
+        cblock = frame.cblock
+        index = frame.index
+        gcosts = cblock.dispatch[index][1]
+        charged = 0
+        done = thread.ghost_skip
+        while done < len(gcosts):
+            thread.cycles += gcosts[done]
+            done += 1
+            charged += 1
+        cblock.singles[index](self, thread, frame)
+        thread.ghost_skip = 0
+        thread.steps += 1 + charged
+        self.total_steps += 1 + charged
+
+    # -- control transfer (retry path; hot paths are prebound) -------------
+
+    def _transfer(self, thread: ThreadContext, frame, target) -> None:
+        cblock = frame.cfunc.blocks[id(target)]
+        copy = cblock.edge_copy.get(id(frame.block))
+        if copy is not None:
+            copy(frame.regs)
+        frame.block = target
+        frame.cblock = cblock
+        frame.index = cblock.nphis
+
+    # -- register access (injector seam + inherited helpers) ---------------
+
+    def read_value(self, frame, value: Value):
+        if isinstance(value, Constant):
+            return value.value
+        slot = frame.cfunc.slot_of.get(id(value))
+        if slot is not None:
+            held = frame.regs[slot]
+            if held is None:
+                raise SimulationError("read of undefined value %r" % value)
+            return held
+        if isinstance(value, FunctionRef):
+            return self._func_index[value.function_name]
+        raise SimulationError("read of undefined value %r" % value)
+
+    _value = read_value
+
+    def write_reg(self, frame, value: Value, new) -> None:
+        frame.regs[frame.cfunc.slot_of[id(value)]] = new

@@ -99,6 +99,33 @@ class CostModel:
             return self.fp
         return self.alu
 
+    def ghost_kind_cost(self, kind, nthreads: int) -> float:
+        """Cycle cost of one optimizer ghost kind (one deleted
+        instruction) — see ``Instruction.ghost``."""
+        tag = kind[0]
+        if tag == "binop":
+            return self.binop_cost(kind[1], kind[2])
+        if tag == "alu":
+            return self.alu
+        if tag == "cmp":
+            return self.cmp
+        if tag == "cast":
+            return self.cast
+        if tag == "mem":
+            return self.memory_cost(nthreads)
+        if tag == "intrinsic":
+            return self.intrinsic
+        if tag == "output":
+            return self.output
+        raise ValueError("unknown ghost cost kind %r" % (kind,))
+
+    def ghost_cycles(self, kinds, nthreads: int) -> float:
+        """Resolve an optimizer ghost's symbolic cost kinds against this
+        model: the cycles the deleted instructions would have charged,
+        summed in program order so optimized runs keep bit-identical
+        cycle clocks."""
+        return sum(self.ghost_kind_cost(kind, nthreads) for kind in kinds)
+
 
 def default_cost_model() -> CostModel:
     return CostModel()

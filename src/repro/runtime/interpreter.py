@@ -54,12 +54,14 @@ from repro.ir import (
     Module,
     Output,
     Phi,
+    ReadLocal,
     Ret,
     SendBranchCondition,
     StoreElem,
     StoreGlobal,
     UnaryOp,
     Value,
+    WriteLocal,
 )
 from repro.monitor import ConditionMessage, Monitor, OutcomeMessage
 from repro.runtime.costmodel import CostModel
@@ -130,7 +132,7 @@ class ThreadContext:
 
     __slots__ = ("tid", "frames", "status", "cycles", "outputs",
                  "callsite_key", "loop_iters", "branch_count",
-                 "pending", "steps")
+                 "pending", "steps", "ghost_skip")
 
     def __init__(self, tid: int, function: Function):
         self.tid = tid
@@ -147,6 +149,10 @@ class ThreadContext:
         #: ("send", message) or ("branch", message, target_block).
         self.pending: Optional[Tuple] = None
         self.steps = 0
+        #: Optimizer-ghost kinds already charged at the current program
+        #: point (a scheduling quantum may end mid-ghost; see
+        #: Machine._run_quantum_ghost).
+        self.ghost_skip = 0
 
     @property
     def frame(self) -> Frame:
@@ -254,6 +260,15 @@ class Machine:
         self.total_steps = 0
         #: Per-block (phis, count) cache for _transfer.
         self._phi_cache: Dict[int, Tuple] = {}
+        #: Optimizer-ghost support: a module that went through
+        #: repro.opt carries opt_summary, and its instructions may carry
+        #: (steps, kinds) ghosts to replay.  Unoptimized modules take a
+        #: quantum loop with zero ghost overhead.
+        self._has_ghosts = getattr(module, "opt_summary", None) is not None
+        self._quantum_fn = (self._run_quantum_ghost if self._has_ghosts
+                            else self._run_quantum)
+        #: id(inst) -> tuple of per-kind cycle costs for its ghost.
+        self._ghost_cache: Dict[int, Tuple[float, ...]] = {}
 
         # Pre-derived costs (hot path).
         self._mem_cost = self.cost.memory_cost(nthreads)
@@ -318,6 +333,14 @@ class Machine:
             tel.count("sync.barrier_episodes", result.barrier_episodes)
             tel.count("sync.wait_cycles", int(self.sync_wait_cycles))
             tel.gauge_max("interp.parallel_cycles", int(result.parallel_time))
+            summary = getattr(self.module, "opt_summary", None)
+            if summary is not None:
+                for stats in summary.get("passes", ()):
+                    tel.count("opt.pass.%s.removed" % stats["name"],
+                              stats["removed"])
+                tel.count("opt.instructions_saved",
+                          summary["instructions_before"]
+                          - summary["instructions_after"])
             for thread in self.threads:
                 tel.observe("interp.thread_cycles", thread.cycles)
                 tel.observe("interp.thread_steps", thread.steps)
@@ -333,7 +356,7 @@ class Machine:
         # quanta is hoisted to a local (the loop body runs once per
         # scheduling quantum, tens of thousands of times per run).
         threads = self.threads
-        run_quantum = self._run_quantum
+        run_quantum = self._quantum_fn
         rng_random = self._rng.random
         jitter = self._jitter
         runnable_status = ThreadStatus.RUNNABLE
@@ -342,12 +365,20 @@ class Machine:
         batch = (monitor.metadata.config.monitor_batch
                  if monitor is not None else 0)
         halt = self.halt_on_detection
-        schedule_key = (lambda t:
-                        (t.cycles + rng_random() * jitter, t.tid))
         while True:
-            runnable = [t for t in threads
-                        if t.status is runnable_status]
-            if not runnable:
+            # Pick the runnable thread with the lowest jittered clock.
+            # One RNG draw per runnable thread in tid order, ties to the
+            # lowest tid — exactly `min(runnable, key=cycles+jitter)`,
+            # without the per-decision closure and list allocations.
+            best = None
+            best_key = 0.0
+            for t in threads:
+                if t.status is runnable_status:
+                    key = t.cycles + rng_random() * jitter
+                    if best is None or key < best_key:
+                        best = t
+                        best_key = key
+            if best is None:
                 if all(t.done for t in threads):
                     return
                 if not self._resolve_blocked():
@@ -355,7 +386,7 @@ class Machine:
                         "no runnable thread: " + ", ".join(
                             "t%d=%s" % (t.tid, t.status.value) for t in threads))
                 continue
-            run_quantum(min(runnable, key=schedule_key))
+            run_quantum(best)
             if drain is not None:
                 drain(batch)
                 if halt and monitor.detected:
@@ -392,6 +423,60 @@ class Machine:
             raise GuestHang("exceeded %d interpreted instructions"
                             % self.max_steps)
 
+    def _ghost_costs(self, inst: Instruction, ghost: Tuple) -> Tuple[float, ...]:
+        cached = self._ghost_cache.get(id(inst))
+        if cached is None:
+            kind_cost = self.cost.ghost_kind_cost
+            nthreads = self.nthreads
+            cached = tuple(kind_cost(kind, nthreads) for kind in ghost[1])
+            self._ghost_cache[id(inst)] = cached
+        return cached
+
+    def _run_quantum_ghost(self, thread: ThreadContext) -> None:
+        """Quantum loop for optimized modules: replay instruction ghosts.
+
+        Ghost kinds are charged *one step at a time* against the quantum
+        budget, so scheduling-quantum boundaries fall at exactly the same
+        cumulative step counts as the unoptimized run — same number of
+        scheduler decisions, same jitter-RNG draws, bit-identical
+        interleaving.  A quantum that ends mid-ghost records its progress
+        in ``thread.ghost_skip`` and resumes there next time.
+        """
+        handlers = self._HANDLERS
+        frames = thread.frames
+        runnable = ThreadStatus.RUNNABLE
+        executed = 0
+        quantum = self.quantum
+        while executed < quantum and thread.status is runnable:
+            frame = frames[-1]
+            inst = frame.block.instructions[frame.index]
+            ghost = getattr(inst, "ghost", None)
+            if ghost is not None:
+                done = thread.ghost_skip
+                total = ghost[0]
+                if done < total:
+                    costs = self._ghost_costs(inst, ghost)
+                    cycles = thread.cycles
+                    while done < total and executed < quantum:
+                        cycles += costs[done]
+                        done += 1
+                        executed += 1
+                    thread.cycles = cycles
+                if done < total or executed >= quantum:
+                    thread.ghost_skip = done
+                    break
+                handlers[type(inst)](self, thread, frame, inst)
+                thread.ghost_skip = 0
+                executed += 1
+            else:
+                handlers[type(inst)](self, thread, frame, inst)
+                executed += 1
+        thread.steps += executed
+        self.total_steps += executed
+        if self.total_steps > self.max_steps:
+            raise GuestHang("exceeded %d interpreted instructions"
+                            % self.max_steps)
+
     # ------------------------------------------------------------------
     # Instruction dispatch
     # ------------------------------------------------------------------
@@ -404,9 +489,17 @@ class Machine:
         handler = self._HANDLERS.get(type(inst))
         if handler is None:
             raise SimulationError("no handler for %r" % inst)
+        charged = 0
+        ghost = getattr(inst, "ghost", None)
+        if ghost is not None and thread.ghost_skip < ghost[0]:
+            costs = self._ghost_costs(inst, ghost)
+            for position in range(thread.ghost_skip, ghost[0]):
+                thread.cycles += costs[position]
+                charged += 1
         handler(self, thread, frame, inst)
-        thread.steps += 1
-        self.total_steps += 1
+        thread.ghost_skip = 0
+        thread.steps += 1 + charged
+        self.total_steps += 1 + charged
 
     def _value(self, frame: Frame, v: Value):
         if isinstance(v, Constant):
@@ -418,6 +511,18 @@ class Machine:
         if isinstance(v, FunctionRef):
             return self._func_index[v.function_name]
         raise SimulationError("read of undefined value %r" % v)
+
+    # -- backend-independent register access (fault injector seam) ---------
+
+    def read_value(self, frame: Frame, value: Value):
+        """Read ``value`` in ``frame`` — the injector-facing twin of the
+        internal ``_value`` (overridden by register-slot backends)."""
+        return self._value(frame, value)
+
+    def write_reg(self, frame: Frame, value: Value, new) -> None:
+        """Overwrite the register holding ``value`` in ``frame`` (the
+        fault injector's corruption primitive)."""
+        frame.regs[id(value)] = new
 
     # -- arithmetic ----------------------------------------------------------
 
@@ -708,6 +813,28 @@ class Machine:
         # frame was restored mid-block — just skip.
         frame.index += 1
 
+    # -- local slots (out-of-SSA form; see repro.opt.ssa) --------------------
+
+    def _exec_readlocal(self, thread: ThreadContext, frame: Frame,
+                        inst: ReadLocal) -> None:
+        key = id(inst.slot)
+        regs = frame.regs
+        if key in regs:
+            value = regs[key]
+        else:
+            type_ = inst.slot.type
+            value = 0.0 if type_ is FLOAT else (False if type_.name == "bool"
+                                                else 0)
+        regs[id(inst)] = value
+        frame.index += 1
+        thread.cycles += self.cost.alu
+
+    def _exec_writelocal(self, thread: ThreadContext, frame: Frame,
+                         inst: WriteLocal) -> None:
+        frame.regs[id(inst.slot)] = self._value(frame, inst.value)
+        frame.index += 1
+        thread.cycles += self.cost.alu
+
     # -- queue-stall retry -------------------------------------------------
 
     def _retry_pending(self, thread: ThreadContext) -> bool:
@@ -753,4 +880,6 @@ Machine._HANDLERS = {
     EnterLoop: Machine._exec_enter_loop,
     LoopTick: Machine._exec_loop_tick,
     Phi: Machine._exec_phi,
+    ReadLocal: Machine._exec_readlocal,
+    WriteLocal: Machine._exec_writelocal,
 }

@@ -9,6 +9,7 @@ campaigns, and the benchmark harnesses all drive.
 
 from __future__ import annotations
 
+import os
 from dataclasses import dataclass, field
 from typing import Callable, Optional, Union
 
@@ -20,6 +21,37 @@ from repro.runtime.costmodel import CostModel
 from repro.runtime.interpreter import FaultHook, Machine, RunResult
 from repro.runtime.memory import SharedMemory
 from repro.telemetry import Telemetry
+
+#: Environment knobs mirrored by the CLI ``--opt-level``/``--backend``
+#: flags; resolved once, when a :class:`ParallelProgram` is built.
+OPT_LEVEL_ENV = "REPRO_OPT_LEVEL"
+BACKEND_ENV = "REPRO_BACKEND"
+
+#: ``interpreter`` walks instruction objects; ``closure`` executes
+#: precompiled block closures (same traces, several times faster).
+BACKENDS = ("interpreter", "closure")
+
+
+def resolve_opt_level(opt_level: Optional[int] = None) -> int:
+    """``opt_level`` or ``$REPRO_OPT_LEVEL`` or 0; validated."""
+    if opt_level is None:
+        raw = os.environ.get(OPT_LEVEL_ENV, "").strip()
+        opt_level = int(raw) if raw else 0
+    opt_level = int(opt_level)
+    if opt_level not in (0, 1, 2):
+        raise ValueError("unknown optimization level %r (supported: 0, 1, 2)"
+                         % (opt_level,))
+    return opt_level
+
+
+def resolve_backend(backend: Optional[str] = None) -> str:
+    """``backend`` or ``$REPRO_BACKEND`` or ``interpreter``; validated."""
+    if backend is None:
+        backend = os.environ.get(BACKEND_ENV, "").strip() or "interpreter"
+    if backend not in BACKENDS:
+        raise ValueError("unknown backend %r (supported: %s)"
+                         % (backend, ", ".join(BACKENDS)))
+    return backend
 
 
 @dataclass
@@ -43,15 +75,26 @@ class RunConfig:
     #: One collector shared by the machine and the monitor; None (the
     #: default) keeps every telemetry path disabled at zero cost.
     telemetry: Optional[Telemetry] = None
+    #: Execution backend for this run; None inherits the program's
+    #: backend (itself defaulting to ``$REPRO_BACKEND`` or the
+    #: interpreter).  See :data:`BACKENDS`.
+    backend: Optional[str] = None
 
 
 class ParallelProgram:
     """One SPMD program in both baseline and protected form."""
 
+    #: Class-level fallbacks so programs pickled before the optimizer
+    #: existed unpickle into valid (unoptimized, interpreted) objects.
+    opt_level = 0
+    backend = "interpreter"
+
     def __init__(self, source: str, name: str = "program",
                  entry: str = "slave",
                  analysis_config: Optional[AnalysisConfig] = None,
-                 instrument_config: Optional[InstrumentConfig] = None):
+                 instrument_config: Optional[InstrumentConfig] = None,
+                 opt_level: Optional[int] = None,
+                 backend: Optional[str] = None):
         self.source = source
         self.name = name
         self.entry = entry
@@ -74,6 +117,17 @@ class ParallelProgram:
         #: Analysis of the baseline image (identical IR), for reporting.
         self.baseline_analysis: SimilarityResult = analyze_module(
             self.baseline, aconfig)
+        #: Optimization level and default execution backend, resolved
+        #: from the arguments or the environment at construction time.
+        self.opt_level = resolve_opt_level(opt_level)
+        self.backend = resolve_backend(backend)
+        if self.opt_level:
+            # Both images run through the same trace-preserving pipeline
+            # after instrumentation, so optimized and unoptimized runs
+            # stay golden-trace identical (see repro.opt).
+            from repro.opt import optimize_module
+            optimize_module(self.baseline, self.opt_level)
+            optimize_module(self.protected, self.opt_level)
 
     # -- execution ---------------------------------------------------------
 
@@ -99,7 +153,14 @@ class ParallelProgram:
             else:
                 monitor = Monitor(self.metadata, config.nthreads,
                                   mode=mode, telemetry=config.telemetry)
-        machine = Machine(
+        backend = resolve_backend(config.backend if config.backend is not None
+                                  else self.backend)
+        if backend == "closure":
+            from repro.runtime.closures import ClosureMachine
+            machine_cls = ClosureMachine
+        else:
+            machine_cls = Machine
+        machine = machine_cls(
             module, config.nthreads, entry=self.entry, monitor=monitor,
             cost_model=config.cost_model, fault_hook=fault_hook,
             seed=config.seed, quantum=config.quantum,

@@ -174,16 +174,28 @@ class ArtifactStore:
 
     def get_program(self, source: str, name: str = "program",
                     entry: str = "slave", analysis_config=None,
-                    instrument_config=None, telemetry=None):
+                    instrument_config=None, telemetry=None,
+                    opt_level=None, backend=None):
         """The compile pipeline, memoized: returns a
         :class:`~repro.runtime.program.ParallelProgram`, compiling only
         on a cold (or unusable) entry.  Hits/misses land on the
         ``store.cache.hit`` / ``store.cache.miss`` counters.
+
+        ``opt_level``/``backend`` resolve against the environment
+        *before* keying, so a run under ``REPRO_OPT_LEVEL=2`` can never
+        alias a plain entry (and vice versa).
         """
-        from repro.runtime.program import ParallelProgram
+        from repro.runtime.program import (
+            ParallelProgram,
+            resolve_backend,
+            resolve_opt_level,
+        )
+        opt_level = resolve_opt_level(opt_level)
+        backend = resolve_backend(backend)
         key = program_key(source, name, entry=entry,
                           analysis_config=analysis_config,
-                          instrument_config=instrument_config)
+                          instrument_config=instrument_config,
+                          opt_level=opt_level, backend=backend)
         try:
             program = self.load(key, "program")
             self._count("store.cache.hit", telemetry)
@@ -193,9 +205,31 @@ class ArtifactStore:
         self._count("store.cache.miss", telemetry)
         program = ParallelProgram(source, name, entry=entry,
                                   analysis_config=analysis_config,
-                                  instrument_config=instrument_config)
+                                  instrument_config=instrument_config,
+                                  opt_level=opt_level, backend=backend)
         self.put(key, "program", program, name=name)
         return program
+
+    def get_closure(self, key: str, compute: Callable[[], dict],
+                    telemetry=None) -> dict:
+        """One compiled-closure source bundle per distinct (module IR,
+        cost model, thread count, codegen version) — computed via
+        :func:`repro.store.hashing.closure_key`.  Bundles are plain
+        picklable dicts of generated source text plus unit metadata;
+        the executable closures are always rebuilt in-process by
+        ``exec`` (code objects do not pickle portably).  Counters:
+        ``store.closure.hit`` / ``store.closure.miss``.
+        """
+        try:
+            bundle = self.load(key, "closure")
+            self._count("store.closure.hit", telemetry)
+            return bundle
+        except StoreError:
+            pass
+        self._count("store.closure.miss", telemetry)
+        bundle = compute()
+        self.put(key, "closure", bundle, name="closure bundle")
+        return bundle
 
     def get_golden(self, prog_key: str, nthreads: int, seed: int,
                    quantum: int, output_globals: Tuple[str, ...],

@@ -37,7 +37,10 @@ from typing import Dict, Optional, Tuple
 
 #: Version of the artifact serialization (pickled programs, golden
 #: summaries).  Bump when the pickled object graph changes shape.
-ARTIFACT_SCHEMA = 1
+#: 2: IR types pickle through the interning table (programs stored
+#: under schema 1 rebuilt non-singleton types, breaking the package's
+#: ``x.type is INT`` identity contract on warm loads).
+ARTIFACT_SCHEMA = 2
 
 #: Version of the campaign-journal line format.  Bump when header or
 #: record fields change incompatibly.
@@ -61,14 +64,17 @@ def _config_dict(config) -> Optional[dict]:
 
 
 def program_key(source: str, name: str, entry: str = "slave",
-                analysis_config=None, instrument_config=None) -> str:
+                analysis_config=None, instrument_config=None,
+                opt_level: int = 0, backend: str = "interpreter") -> str:
     """Content address of one compiled :class:`ParallelProgram`.
 
     ``name`` participates: it is stamped into module names and campaign
     statistics, so two names are two (user-visible) artifacts even over
-    identical source.
+    identical source.  The optimizer/backend configuration participates
+    only when non-default, so every pre-optimizer key (and store entry)
+    stays addressable.
     """
-    return _digest({
+    payload = {
         "schema": ARTIFACT_SCHEMA,
         "kind": "program",
         "source": source,
@@ -76,7 +82,10 @@ def program_key(source: str, name: str, entry: str = "slave",
         "entry": entry,
         "analysis": _config_dict(analysis_config),
         "instrument": _config_dict(instrument_config),
-    })
+    }
+    if opt_level or backend != "interpreter":
+        payload["opt"] = {"level": int(opt_level), "backend": backend}
+    return _digest(payload)
 
 
 def program_key_of(program) -> str:
@@ -84,7 +93,28 @@ def program_key_of(program) -> str:
     return program_key(program.source, program.name, entry=program.entry,
                        analysis_config=getattr(program, "analysis_config", None),
                        instrument_config=getattr(program, "instrument_config",
-                                                 None))
+                                                 None),
+                       opt_level=getattr(program, "opt_level", 0),
+                       backend=getattr(program, "backend", "interpreter"))
+
+
+def closure_key(module_text: str, cost_key, nthreads: int,
+                codegen_version: int) -> str:
+    """Content address of one compiled-closure source bundle.
+
+    Keyed on the printed IR (the exact instruction stream being
+    compiled — covers instrumentation, optimization, and ghosts), the
+    cost-model tuple and thread count (both baked into generated cycle
+    literals), and the codegen version.
+    """
+    return _digest({
+        "schema": ARTIFACT_SCHEMA,
+        "kind": "closure",
+        "module": module_text,
+        "cost": list(cost_key),
+        "nthreads": int(nthreads),
+        "codegen": int(codegen_version),
+    })
 
 
 def plan_fingerprint(prog_key: str, fault_type, config,

@@ -84,7 +84,11 @@ class TestConditionFault:
     def test_high_bit_usually_flips_compare(self, program):
         hook = InjectingHook(FaultSpec(
             FaultType.BRANCH_CONDITION, 0, 2, bit=63, rng_seed=1))
-        program.run_protected(4, setup=figure1_setup(4), fault_hook=hook)
+        # A sign-bit flip in the loop bound can send the loop spinning
+        # toward INT_MIN; bound the run so the hang is classified instead
+        # of eating the default 20M-step budget.
+        program.run_protected(4, setup=figure1_setup(4), fault_hook=hook,
+                              max_steps=400_000)
         assert hook.activated
 
 

@@ -68,3 +68,29 @@ class TestCommonNumeric:
     def test_non_numeric(self):
         assert common_numeric(BOOL, INT) is None
         assert common_numeric(INT, VOID) is None
+
+
+class TestPickleInterning:
+    def test_singletons_survive_pickle(self):
+        import pickle
+        for type_ in (INT, FLOAT, BOOL, VOID):
+            assert pickle.loads(pickle.dumps(type_)) is type_
+
+    def test_array_elements_stay_interned(self):
+        import pickle
+        array = pickle.loads(pickle.dumps(array_of(FLOAT, 8)))
+        assert array.element is FLOAT and array.length == 8
+
+    def test_unpickled_module_keeps_identity_checks(self):
+        # The artifact store pickles whole programs; every `x.type is
+        # INT` in the runtime must stay valid on the warm-loaded copy.
+        import pickle
+        from repro.frontend import compile_source
+        module = pickle.loads(pickle.dumps(compile_source(
+            "global int g;\nfunc slave() { g = g + 1; }", "p")))
+        types = {id(inst.type): inst.type
+                 for function in module.function_table
+                 for inst in function.instructions()}
+        for type_ in types.values():
+            if type_.is_scalar or type_ is VOID:
+                assert type_ in (INT, FLOAT, BOOL, VOID)

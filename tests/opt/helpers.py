@@ -1,0 +1,39 @@
+"""Shared helpers for the optimizer test suite."""
+
+from __future__ import annotations
+
+
+def run_signature(result):
+    """Everything a trace-preserving transformation must keep
+    bit-identical: status, step/cycle clocks, per-thread dynamic branch
+    counts, outputs, parallel-section time, and every detection."""
+    return (
+        str(result.status),
+        result.steps,
+        dict(result.cycles),
+        dict(result.branch_counts),
+        tuple(result.outputs),
+        result.parallel_time,
+        result.sync_wait_cycles,
+        tuple((v.info.static_id, tuple(v.thread_ids), str(v))
+              for v in result.violations),
+    )
+
+
+def semantic_signature(result, globals_=()):
+    """What any *semantics*-preserving transformation must keep: final
+    status, outputs, detections, and the named result globals — but not
+    the clocks (``from_ssa`` adds executed instructions)."""
+    memory = result.memory
+    finals = {}
+    for name in globals_:
+        finals[name] = (tuple(memory.get_array(name))
+                        if name in memory.arrays
+                        else memory.get_scalar(name))
+    return (
+        str(result.status),
+        tuple(result.outputs),
+        tuple((v.info.static_id, tuple(v.thread_ids))
+              for v in result.violations),
+        finals,
+    )

@@ -1,0 +1,50 @@
+"""Deterministic pass ordering: the pipeline's output must not depend on
+Python hash randomization (no ``id()``-ordered dict/set iteration may
+leak into the rewritten module).  Two subprocesses with different
+``PYTHONHASHSEED`` values must print byte-identical optimized IR."""
+
+from __future__ import annotations
+
+import os
+import subprocess
+import sys
+
+import pytest
+
+_SCRIPT = r"""
+import sys
+from repro.frontend import compile_source
+from repro.ir.printer import print_module
+from repro.opt import optimize_module
+from repro.splash2 import kernel
+from tests.conftest import FIGURE_1
+
+for name, source in [("figure1", FIGURE_1),
+                     ("radix", kernel("radix").source)]:
+    module = compile_source(source, name)
+    report = optimize_module(module, 2)
+    sys.stdout.write(print_module(module))
+    sys.stdout.write("\n#passes %r\n"
+                     % [(s.name, s.removed, s.replaced)
+                        for s in report.passes])
+"""
+
+
+def _optimized_ir(hashseed: str) -> str:
+    env = dict(os.environ)
+    env["PYTHONHASHSEED"] = hashseed
+    env["PYTHONPATH"] = os.pathsep.join(
+        [os.path.join(os.path.dirname(__file__), "..", ".."),
+         os.path.join(os.path.dirname(__file__), "..", "..", "src"),
+         env.get("PYTHONPATH", "")])
+    proc = subprocess.run([sys.executable, "-c", _SCRIPT],
+                          capture_output=True, text=True, env=env)
+    assert proc.returncode == 0, proc.stderr
+    return proc.stdout
+
+
+@pytest.mark.slow
+def test_pipeline_output_is_hashseed_invariant():
+    first = _optimized_ir("0")
+    second = _optimized_ir("4242")
+    assert first == second

@@ -1,0 +1,107 @@
+"""Pass-pipeline contract: per-pass metrics, trace identity at every
+level, and the similarity-aware legality invariants (the BLOCKWATCH
+machinery must see an optimized module as the same program)."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.ir import Branch, SendBranchCondition
+from repro.opt import PIPELINES, optimize_module
+from repro.runtime import ParallelProgram
+from repro.splash2 import kernel
+
+from tests.conftest import FIGURE_1, figure1_setup
+from tests.opt.helpers import run_signature
+
+FAST_KERNELS = ("radix", "fft", "water_nsquared")
+
+
+def _structure(module):
+    """Everything legality freezes: per-function block names, branch
+    sites, and monitor sends (counted per block)."""
+    shape = {}
+    for function in module.function_table:
+        shape[function.name] = [
+            (block.name,
+             sum(1 for inst in block.instructions
+                 if isinstance(inst, Branch)),
+             sum(1 for inst in block.instructions
+                 if isinstance(inst, SendBranchCondition)))
+            for block in function.blocks]
+    return shape
+
+
+@pytest.mark.parametrize("level", [1, 2])
+def test_figure1_levels_are_trace_identical(level):
+    reference = ParallelProgram(FIGURE_1, "figure1")
+    optimized = ParallelProgram(FIGURE_1, "figure1", opt_level=level)
+    for seed in (0, 5):
+        for nthreads in (2, 4):
+            base = reference.run_protected(nthreads, seed=seed,
+                                           setup=figure1_setup(nthreads))
+            opt = optimized.run_protected(nthreads, seed=seed,
+                                          setup=figure1_setup(nthreads))
+            assert run_signature(opt) == run_signature(base)
+            base = reference.run_baseline(nthreads, seed=seed,
+                                          setup=figure1_setup(nthreads))
+            opt = optimized.run_baseline(nthreads, seed=seed,
+                                         setup=figure1_setup(nthreads))
+            assert run_signature(opt) == run_signature(base)
+
+
+@pytest.mark.parametrize("name", FAST_KERNELS)
+def test_kernel_o2_is_trace_identical(name):
+    spec = kernel(name)
+    reference = ParallelProgram(spec.source, spec.name, entry=spec.entry)
+    optimized = ParallelProgram(spec.source, spec.name, entry=spec.entry,
+                                opt_level=2)
+    setup = spec.setup(4)
+    base = reference.run_protected(4, seed=3, setup=setup)
+    opt = optimized.run_protected(4, seed=3, setup=setup)
+    assert run_signature(opt) == run_signature(base)
+
+
+def test_legality_structure_survives_o2():
+    reference = ParallelProgram(FIGURE_1, "figure1")
+    optimized = ParallelProgram(FIGURE_1, "figure1", opt_level=2)
+    assert _structure(optimized.protected) == _structure(reference.protected)
+    # The checked-branch census (the paper's Table V input) is part of
+    # the frozen structure too.
+    assert (optimized.checked_branch_count()
+            == reference.checked_branch_count())
+
+
+def test_pipeline_reduces_instruction_count():
+    program = ParallelProgram(FIGURE_1, "figure1", opt_level=2)
+    summary = program.protected.opt_summary
+    assert summary["instructions_after"] < summary["instructions_before"]
+
+
+def test_report_metrics_round_trip_as_json(tmp_path):
+    """Bril-harness style: one results JSON with per-pass instruction
+    counts, loadable without any repro types."""
+    program = ParallelProgram(FIGURE_1, "figure1")
+    report = optimize_module(program.protected, 2)
+    path = tmp_path / "opt_metrics.json"
+    path.write_text(json.dumps(report.to_dict(), indent=2, sort_keys=True))
+    loaded = json.loads(path.read_text())
+    assert loaded["level"] == 2
+    assert [entry["name"] for entry in loaded["passes"]] == list(PIPELINES[2])
+    for entry in loaded["passes"]:
+        assert entry["instructions_after"] <= entry["instructions_before"]
+        assert entry["removed"] >= 0 and entry["replaced"] >= 0
+    assert loaded["instructions_after"] == (
+        loaded["passes"][-1]["instructions_after"])
+
+
+def test_opt_level_env_knob(monkeypatch):
+    monkeypatch.setenv("REPRO_OPT_LEVEL", "2")
+    program = ParallelProgram(FIGURE_1, "figure1")
+    assert program.opt_level == 2
+    assert program.protected.opt_summary["level"] == 2
+    monkeypatch.setenv("REPRO_OPT_LEVEL", "7")
+    with pytest.raises(ValueError):
+        ParallelProgram(FIGURE_1, "figure1")

@@ -1,0 +1,112 @@
+"""SSA round-trip validation (Bril lesson-6 style: transform, re-verify,
+re-run) over every frontend-compiled kernel and fuzzed MiniC programs.
+
+``to_ssa`` is trace-preserving (removed slot traffic is re-charged as
+ghosts), so promoted modules must match the original run bit for bit.
+``from_ssa`` adds executed instructions by design, so the lowered module
+is held to *semantic* identity only (status, outputs, result globals,
+detections).
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.frontend import compile_source
+from repro.ir import Phi, ReadLocal, WriteLocal
+from repro.ir.verifier import verify_module
+from repro.opt import compute_frozen, from_ssa, to_ssa
+from repro.runtime import Machine, ParallelProgram
+from repro.splash2 import all_kernels, kernel
+
+from tests.conftest import FIGURE_1, figure1_setup
+from tests.opt.helpers import run_signature, semantic_signature
+
+KERNEL_NAMES = [spec.name for spec in all_kernels()]
+
+
+def _promote(module):
+    """to-SSA every function; verifier must accept the SSA form."""
+    for function in module.function_table:
+        to_ssa(function, compute_frozen(function))
+    verify_module(module)
+    # Ghost replay (the step/cycle compensation for removed slot
+    # traffic) engages only on modules marked as optimized.
+    module.opt_summary = {"passes": ["to-ssa"]}
+
+
+def _lower(module):
+    """from-SSA every function; verifier must accept the slot form."""
+    for function in module.function_table:
+        from_ssa(function)
+    verify_module(module)
+
+
+def _run_kernel(module, spec, nthreads=4, seed=3):
+    machine = Machine(module, nthreads, entry=spec.entry, seed=seed)
+    spec.setup(nthreads)(machine.memory)
+    return machine.run()
+
+
+@pytest.mark.parametrize("name", KERNEL_NAMES)
+def test_kernel_to_ssa_is_trace_identical(name):
+    spec = kernel(name)
+    reference = _run_kernel(compile_source(spec.source, spec.name), spec)
+    module = compile_source(spec.source, spec.name)
+    _promote(module)
+    assert not any(isinstance(inst, WriteLocal)
+                   for function in module.function_table
+                   for inst in function.instructions())
+    promoted = _run_kernel(module, spec)
+    assert run_signature(promoted) == run_signature(reference)
+
+
+@pytest.mark.parametrize("name", KERNEL_NAMES)
+def test_kernel_round_trip_preserves_semantics(name):
+    spec = kernel(name)
+    reference = _run_kernel(compile_source(spec.source, spec.name), spec)
+    module = compile_source(spec.source, spec.name)
+    _promote(module)
+    _lower(module)
+    assert not any(isinstance(inst, Phi)
+                   for function in module.function_table
+                   for inst in function.instructions())
+    lowered = _run_kernel(module, spec)
+    outputs = tuple(spec.output_globals)
+    assert (semantic_signature(lowered, outputs)
+            == semantic_signature(reference, outputs))
+
+
+def test_figure1_to_ssa_protected_trace_identity():
+    reference = ParallelProgram(FIGURE_1, "figure1")
+    promoted = ParallelProgram(FIGURE_1, "figure1")
+    _promote(promoted.protected)
+    for seed in (0, 7):
+        base = reference.run_protected(4, seed=seed, setup=figure1_setup(4))
+        opt = promoted.run_protected(4, seed=seed, setup=figure1_setup(4))
+        assert run_signature(opt) == run_signature(base)
+        assert not opt.detected  # promotion must not fake a violation
+
+
+@pytest.mark.parametrize("program_seed", [11, 2012, 40_412])
+def test_fuzzed_round_trip(program_seed):
+    from tests.integration.test_fuzzed_programs import (
+        ProgramGenerator,
+        setup_for,
+    )
+    source = ProgramGenerator(program_seed).generate()
+    setup = setup_for(4, program_seed)
+    reference = ParallelProgram(source, "fuzz%d" % program_seed)
+    base = reference.run_protected(4, seed=1, setup=setup)
+    assert base.status == "ok", source
+
+    promoted = ParallelProgram(source, "fuzz%d" % program_seed)
+    _promote(promoted.protected)
+    opt = promoted.run_protected(4, seed=1, setup=setup)
+    assert run_signature(opt) == run_signature(base)
+
+    _lower(promoted.protected)
+    lowered = promoted.run_protected(4, seed=1, setup=setup)
+    assert (semantic_signature(lowered, ("data",))
+            == semantic_signature(base, ("data",)))
+    assert not lowered.detected, "FALSE POSITIVE after SSA round trip"

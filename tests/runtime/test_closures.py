@@ -1,0 +1,175 @@
+"""Closure backend contract: golden-trace identity with the interpreter
+on every observable channel — error-free runs, optimized runs, and
+fault-injected runs — plus the compiled-artifact caches."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.faults import FaultSpec, FaultType, InjectingHook
+from repro.runtime import ParallelProgram, RunConfig, get_compiled
+from repro.runtime.closures import _COMPILE_CACHE
+from repro.splash2 import kernel
+
+from tests.conftest import FIGURE_1, figure1_setup
+from tests.opt.helpers import run_signature
+
+FAST_KERNELS = ("radix", "fft", "water_nsquared")
+SLOW_KERNELS = ("fmm", "ocean_contig", "ocean_noncontig", "raytrace")
+
+
+@pytest.fixture(scope="module")
+def figure1_pair():
+    return (ParallelProgram(FIGURE_1, "figure1"),
+            ParallelProgram(FIGURE_1, "figure1", backend="closure"))
+
+
+def test_figure1_identity_across_backends(figure1_pair):
+    interp, closure = figure1_pair
+    for seed in (0, 1, 7):
+        for nthreads in (1, 4):
+            setup = figure1_setup(nthreads)
+            assert (run_signature(closure.run_protected(
+                        nthreads, seed=seed, setup=setup))
+                    == run_signature(interp.run_protected(
+                        nthreads, seed=seed, setup=setup)))
+            assert (run_signature(closure.run_baseline(
+                        nthreads, seed=seed, setup=setup))
+                    == run_signature(interp.run_baseline(
+                        nthreads, seed=seed, setup=setup)))
+
+
+def test_figure1_closure_o2_matches_interpreter_o0(figure1_pair):
+    interp, _ = figure1_pair
+    optimized = ParallelProgram(FIGURE_1, "figure1", opt_level=2,
+                                backend="closure")
+    for seed in (0, 5):
+        assert (run_signature(optimized.run_protected(
+                    4, seed=seed, setup=figure1_setup(4)))
+                == run_signature(interp.run_protected(
+                    4, seed=seed, setup=figure1_setup(4))))
+
+
+def _assert_kernel_identity(name):
+    spec = kernel(name)
+    setup = spec.setup(4)
+    interp = ParallelProgram(spec.source, spec.name, entry=spec.entry)
+    reference = run_signature(interp.run_protected(4, seed=3, setup=setup))
+    closure = ParallelProgram(spec.source, spec.name, entry=spec.entry,
+                              backend="closure")
+    assert run_signature(closure.run_protected(
+        4, seed=3, setup=setup)) == reference
+    optimized = ParallelProgram(spec.source, spec.name, entry=spec.entry,
+                                opt_level=2, backend="closure")
+    assert run_signature(optimized.run_protected(
+        4, seed=3, setup=setup)) == reference
+
+
+@pytest.mark.parametrize("name", FAST_KERNELS)
+def test_kernel_identity_across_backends(name):
+    _assert_kernel_identity(name)
+
+
+@pytest.mark.slow
+@pytest.mark.parametrize("name", SLOW_KERNELS)
+def test_kernel_identity_across_backends_slow(name):
+    _assert_kernel_identity(name)
+
+
+@pytest.mark.parametrize("fault_type",
+                         [FaultType.BRANCH_FLIP, FaultType.BRANCH_CONDITION])
+def test_injected_runs_identical(figure1_pair, fault_type):
+    interp, closure = figure1_pair
+    for tid in (0, 2):
+        for branch_index in (1, 8):
+            outcomes = {}
+            for label, program in (("interp", interp), ("closure", closure)):
+                hook = InjectingHook(FaultSpec(fault_type, tid, branch_index))
+                result = program.run_protected(4, seed=0,
+                                               setup=figure1_setup(4),
+                                               fault_hook=hook)
+                outcomes[label] = (run_signature(result), hook.activated,
+                                   hook.flipped_branch, result.detected)
+            assert outcomes["interp"] == outcomes["closure"], (
+                fault_type, tid, branch_index)
+
+
+def test_run_config_backend_overrides_program_default(figure1_pair):
+    interp, _ = figure1_pair
+    reference = run_signature(interp.run_protected(4, seed=0,
+                                                   setup=figure1_setup(4)))
+    overridden = interp.run(
+        RunConfig(nthreads=4, seed=0, backend="closure"),
+        setup=figure1_setup(4))
+    assert run_signature(overridden) == reference
+
+
+def test_backend_env_knob(monkeypatch):
+    monkeypatch.setenv("REPRO_BACKEND", "closure")
+    program = ParallelProgram(FIGURE_1, "figure1")
+    assert program.backend == "closure"
+    monkeypatch.setenv("REPRO_BACKEND", "llvm")
+    with pytest.raises(ValueError):
+        ParallelProgram(FIGURE_1, "figure1")
+
+
+def test_get_compiled_memoizes_per_module(figure1_pair):
+    _, closure = figure1_pair
+    module = closure.protected
+    assert get_compiled(module, nthreads=4) is get_compiled(module,
+                                                            nthreads=4)
+    assert get_compiled(module, nthreads=4) is not get_compiled(module,
+                                                                nthreads=2)
+
+
+def test_closure_bundle_store_round_trip(tmp_path):
+    """Cold run misses the closure cache; a fresh process-equivalent
+    (in-process cache wiped) recompile hits it and stays
+    trace-identical."""
+    from repro.store import ArtifactStore
+    from repro.store.runtime import set_default_store
+    store = ArtifactStore(str(tmp_path / "store"))
+    set_default_store(store)
+    try:
+        program = ParallelProgram(FIGURE_1, "figure1", backend="closure")
+        cold = program.run_protected(4, seed=3, setup=figure1_setup(4))
+        assert store.counters.get("store.closure.miss") == 1
+        assert "store.closure.hit" not in store.counters
+
+        _COMPILE_CACHE.clear()
+        rebuilt = ParallelProgram(FIGURE_1, "figure1", backend="closure")
+        warm = rebuilt.run_protected(4, seed=3, setup=figure1_setup(4))
+        assert store.counters.get("store.closure.hit") == 1
+        assert run_signature(warm) == run_signature(cold)
+
+        interp = rebuilt.run_protected(4, seed=3, setup=figure1_setup(4),
+                                       backend="interpreter")
+        assert run_signature(interp) == run_signature(cold)
+    finally:
+        set_default_store(None)
+
+
+def test_corrupt_closure_bundle_is_rejected_not_trusted(tmp_path):
+    """A bundle whose unit layout disagrees with the fresh plan must be
+    discarded (per-function cold recompile), never executed."""
+    from repro.store import ArtifactStore
+    from repro.store.runtime import set_default_store
+    store = ArtifactStore(str(tmp_path / "store"))
+    set_default_store(store)
+    try:
+        program = ParallelProgram(FIGURE_1, "figure1", backend="closure")
+        cold = program.run_protected(4, seed=3, setup=figure1_setup(4))
+        # Corrupt every stored bundle: garble the generated sources.
+        for entry in store.entries():
+            if entry.kind != "closure":
+                continue
+            bundle = store.load(entry.key, "closure")
+            for data in bundle["functions"].values():
+                data["source"] = "def nonsense(:\n"
+            store.put(entry.key, "closure", bundle)
+        _COMPILE_CACHE.clear()
+        rebuilt = ParallelProgram(FIGURE_1, "figure1", backend="closure")
+        warm = rebuilt.run_protected(4, seed=3, setup=figure1_setup(4))
+        assert run_signature(warm) == run_signature(cold)
+    finally:
+        set_default_store(None)

@@ -7,6 +7,7 @@ import time
 import pytest
 
 from repro.errors import StoreCorruptError, StoreError, StoreSchemaError
+from repro.runtime.program import resolve_backend, resolve_opt_level
 from repro.store import ARTIFACT_SCHEMA, ArtifactStore, program_key
 from repro.telemetry import Telemetry
 from tests.conftest import FIGURE_1
@@ -46,7 +47,12 @@ class TestProgramCache:
 
     def test_corrupt_entry_is_a_miss_and_self_heals(self, store):
         store.get_program(FIGURE_1, "fig1")
-        key = program_key(FIGURE_1, "fig1")
+        # Resolve the env knobs exactly as get_program does, so the test
+        # holds under forced REPRO_OPT_LEVEL/REPRO_BACKEND environments
+        # (CI optimizer matrix).
+        key = program_key(FIGURE_1, "fig1",
+                          opt_level=resolve_opt_level(None),
+                          backend=resolve_backend(None))
         data = os.path.join(store._entry_dir(key), "data.pkl")
         with open(data, "wb") as handle:
             handle.write(b"not a pickle")

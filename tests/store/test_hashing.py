@@ -34,6 +34,28 @@ class TestProgramKey:
         assert (program_key("s", "p")
                 != program_key("s", "p", analysis_config=AnalysisConfig()))
 
+    def test_opt_and_backend_participate_only_when_non_default(self):
+        base = program_key("s", "p")
+        # Pre-optimizer keys stay addressable: explicit defaults alias
+        # the historical key.
+        assert program_key("s", "p", opt_level=0,
+                           backend="interpreter") == base
+        assert program_key("s", "p", opt_level=2) != base
+        assert program_key("s", "p", backend="closure") != base
+        assert (program_key("s", "p", opt_level=2)
+                != program_key("s", "p", opt_level=1))
+
+
+class TestClosureKey:
+    def test_every_input_participates(self):
+        from repro.store.hashing import closure_key
+        base = closure_key("module m {}", (1.0, 2.0), 4, 1)
+        assert closure_key("module m {}", (1.0, 2.0), 4, 1) == base
+        assert closure_key("module n {}", (1.0, 2.0), 4, 1) != base
+        assert closure_key("module m {}", (1.0, 4.0), 4, 1) != base
+        assert closure_key("module m {}", (1.0, 2.0), 8, 1) != base
+        assert closure_key("module m {}", (1.0, 2.0), 4, 2) != base
+
 
 class TestPlanFingerprint:
     def make(self, **overrides):
