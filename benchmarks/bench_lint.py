@@ -1,0 +1,55 @@
+"""Static lint cost: wall-clock per kernel, cold vs store-cached.
+
+Not a paper figure: this pins what the ``repro.lint`` pre-pass adds to
+``ParallelProgram`` construction.  The table reports per-kernel lint
+time, the diagnostic population, and the warm store-cache time; the
+assertions pin semantics (zero errors everywhere, a warm hit must not
+re-lint) rather than wall-clock ratios.
+"""
+
+import time
+
+from repro.analysis import format_table
+from repro.frontend import compile_source
+from repro.lint import lint_module
+from repro.splash2 import all_kernels
+from repro.store import ArtifactStore
+
+
+def timed(fn):
+    start = time.perf_counter()
+    value = fn()
+    return value, time.perf_counter() - start
+
+
+def test_lint_wallclock(benchmark, tmp_path, save_result):
+    store = ArtifactStore(str(tmp_path / "store"))
+    specs = sorted(all_kernels(), key=lambda s: s.name)
+
+    def measure():
+        rows = []
+        for spec in specs:
+            module = compile_source(spec.source, spec.name)
+            report, cold = timed(
+                lambda: lint_module(module, entry=spec.entry,
+                                    name=spec.name))
+            assert report.errors == []
+
+            def cached():
+                return store.get_lint(
+                    spec.source, spec.name, spec.entry,
+                    lambda: report.as_dict())
+            cached()  # populate
+            payload, warm = timed(cached)
+            assert payload["summary"]["errors"] == 0
+            rows.append([spec.name, "%.1f" % (cold * 1e3),
+                         str(len(report.warnings)),
+                         "%.1f" % (warm * 1e3)])
+        return rows
+
+    rows = benchmark.pedantic(measure, rounds=1, iterations=1)
+    assert store.counters["store.lint.miss"] == len(specs)
+    assert store.counters["store.lint.hit"] == len(specs)
+    save_result("lint", format_table(
+        ["kernel", "lint (ms)", "warnings", "warm load (ms)"],
+        rows, title="Static race lint: per-kernel wall-clock"))

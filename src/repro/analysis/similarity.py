@@ -172,6 +172,16 @@ class AnalysisConfig:
     check_stores: bool = False
     #: Safety valve for the fixpoint (the paper observes k < 10).
     max_iterations: int = 1000
+    #: Race-aware refinement (the `repro.lint` hook): names of globals /
+    #: arrays involved in statically-detected data races.  A branch whose
+    #: condition transitively loads any of them is demoted out of the
+    #: "similar" classes and never checked — a racy load legitimately
+    #: differs across threads, so checking it manufactures false
+    #: positives.  Sorted tuple so the config hashes canonically.
+    racy_locations: tuple = ()
+    #: Master switch for the refinement; lets `ParallelProgram` skip the
+    #: lint pass entirely (and documents the knob in the program key).
+    race_refinement: bool = True
 
 
 @dataclass
@@ -239,6 +249,11 @@ class SimilarityResult:
         self.trace: List[Dict[str, str]] = []
         self.tid_counters: Set[str] = set()
         self.serialized_functions: Set[str] = set()
+        #: Affine-in-tid coefficients proven by the slope fixpoint, keyed
+        #: by ``id(value)``: an int/float, or a canonical symbolic tuple
+        #: (see the slope algebra above).  Consumed by ``repro.lint``'s
+        #: per-thread disjoint-index proofs.
+        self.tid_slopes: Dict[int, object] = {}
 
     # -- queries -----------------------------------------------------------
 
@@ -258,6 +273,17 @@ class SimilarityResult:
 
     def checked_branches(self) -> List[BranchRecord]:
         return [r for r in self.all_branches() if r.check_kind is not None]
+
+    def slope_of(self, value: Value):
+        """Affine-in-tid coefficient of ``value``: an int/float, a
+        symbolic tuple for shared-scaled coefficients, 0 for statically
+        shared values, or None when unknown/not affine."""
+        slope = self.tid_slopes.get(id(value))
+        if slope is not None:
+            return slope
+        if self.category_of(value) is Category.SHARED:
+            return 0
+        return None
 
 
 def parallel_function_names(module: Module, entry: str) -> Set[str]:
@@ -336,6 +362,7 @@ class _Analysis:
 
         self._fixpoint(functions)
         self._slope_fixpoint(functions)
+        result.tid_slopes = dict(self._tid_slope)
         self._classify_branches(functions)
         if self.config.check_stores:
             self._classify_stores(functions)
@@ -773,6 +800,27 @@ class _Analysis:
             else:
                 seen[key] = record
 
+    def _loads_racy(self, value: Value, _seen: Optional[Set[int]] = None) -> bool:
+        """Does ``value`` transitively read a location named in
+        ``config.racy_locations``?  Walks pure arithmetic and phis (with
+        a visited set — phi webs are cyclic); calls are opaque and not
+        followed — interprocedural refinement comes from lint reporting
+        the callee's own branches."""
+        seen = _seen if _seen is not None else set()
+        if id(value) in seen:
+            return False
+        seen.add(id(value))
+        racy = self.config.racy_locations
+        if isinstance(value, LoadGlobal):
+            return value.global_.name in racy
+        if isinstance(value, LoadElem):
+            if value.array.name in racy:
+                return True
+            return self._loads_racy(value.index, seen)
+        if isinstance(value, (BinOp, UnaryOp, Cast, Cmp, Phi)):
+            return any(self._loads_racy(op, seen) for op in value.operands)
+        return False
+
     def _leaf_variables(self, value: Value, _depth: int = 0) -> Set[int]:
         """Underlying variable identities of an expression: expand pure
         arithmetic, stop at phis/loads/params/tid sources (the registers
@@ -807,6 +855,13 @@ class _Analysis:
             return record
         if depth > self.config.max_loop_nesting:
             record.skip_reason = "nesting"
+            return record
+        if (self.config.race_refinement and self.config.racy_locations
+                and self._loads_racy(cond)):
+            # A racy load feeding the condition makes threads diverge
+            # legitimately; checking it would manufacture false positives.
+            record.category = Category.NONE
+            record.skip_reason = "racy_condition"
             return record
 
         basis = list(cond.operands) if isinstance(cond, Cmp) else [cond]

@@ -45,8 +45,12 @@ def _load_source(path: str) -> str:
         return _kernel_spec(path).source
     if path == "-":
         return sys.stdin.read()
-    with open(path) as handle:
-        return handle.read()
+    try:
+        with open(path) as handle:
+            return handle.read()
+    except OSError as exc:
+        raise SystemExit("error: cannot read program %r: %s"
+                         % (path, exc.strerror or exc))
 
 
 def _kernel_spec(path: str):
@@ -54,7 +58,7 @@ def _kernel_spec(path: str):
     try:
         return kernel(path[len(KERNEL_PREFIX):])
     except KeyError as exc:
-        raise SystemExit(str(exc))
+        raise SystemExit("error: %s" % exc.args[0])
 
 
 def _open_store(args):

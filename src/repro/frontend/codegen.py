@@ -40,12 +40,18 @@ from repro.ir import (
 from repro.ir.types import BARRIER, LOCK, VOID
 
 
-def compile_source(source: str, name: str = "module") -> Module:
-    """Compile MiniC source text into a verified SSA module."""
-    return compile_program(parse(source), name)
+def compile_source(source: str, name: str = "module",
+                   verify: bool = True) -> Module:
+    """Compile MiniC source text into a verified SSA module.
+
+    ``verify=False`` skips the IR verifier — for tools that analyze
+    deliberately malformed programs (e.g. unbalanced lock paths the
+    sync-protocol check would reject)."""
+    return compile_program(parse(source), name, verify=verify)
 
 
-def compile_program(program: ast.Program, name: str = "module") -> Module:
+def compile_program(program: ast.Program, name: str = "module",
+                    verify: bool = True) -> Module:
     module = Module(name)
     # Globals first, then function headers (so calls can be resolved in any
     # order), then bodies.
@@ -61,7 +67,8 @@ def compile_program(program: ast.Program, name: str = "module") -> Module:
         headers.append((fdecl, function))
     for fdecl, function in headers:
         _FunctionCodegen(module, function, fdecl).run()
-    verify_module(module)
+    if verify:
+        verify_module(module)
     return module
 
 

@@ -11,7 +11,11 @@ Run after the front-end and after every transforming pass.  The checks:
   against the incoming edge's predecessor);
 * ``ret`` values match the function's return type; every function with a
   non-void return type returns a value on all ``ret`` instructions;
-* call operands reference functions and globals of the same module.
+* call operands reference functions and globals of the same module;
+* the synchronization protocol is well-formed: no lock release without a
+  dominating acquire, no path re-acquiring a lock it already holds, and
+  no barrier wait while any lock may be held (a barrier under a lock
+  deadlocks as soon as a second thread needs the lock to reach it).
 
 The verifier computes its own dominator sets with the simple iterative
 dataflow algorithm; the analysis package has a faster CHK implementation,
@@ -27,8 +31,11 @@ from repro.errors import VerificationError
 from repro.ir.basicblock import BasicBlock
 from repro.ir.function import Function
 from repro.ir.instructions import (
+    BarrierWait,
     Call,
     Instruction,
+    LockAcquire,
+    LockRelease,
     Phi,
     Ret,
     Terminator,
@@ -58,6 +65,7 @@ def verify_function(function: Function, module: Module = None) -> None:
     _check_phi_edges(function)
     _check_dominance(function)
     _check_returns(function)
+    _check_sync_protocol(function)
     if module is not None:
         _check_module_references(function, module)
 
@@ -209,6 +217,101 @@ def _check_module_references(function: Function, module: Module) -> None:
                     raise VerificationError(
                         "%s: function reference &%s not in module"
                         % (function.name, op.function_name))
+
+
+def _check_sync_protocol(function: Function) -> None:
+    """Lock/barrier discipline, via a small may/must-held fixpoint.
+
+    ``must`` (intersection at joins) proves a release has a dominating
+    acquire on *every* path; ``may`` (union at joins) catches a path
+    that re-acquires a held lock or parks on a barrier while holding
+    one.  Like the dominance check this stays dependency-free: plain
+    iteration over the predecessor map, reachable blocks only.
+    """
+    if not any(isinstance(inst, (LockAcquire, LockRelease, BarrierWait))
+               for inst in function.instructions()):
+        return
+    preds = _predecessor_map(function)
+    entry = function.entry
+
+    reachable: Set[int] = set()
+    stack = [entry]
+    order: List[BasicBlock] = []
+    while stack:
+        block = stack.pop()
+        if id(block) in reachable:
+            continue
+        reachable.add(id(block))
+        order.append(block)
+        stack.extend(block.successors())
+
+    universe = frozenset(
+        inst.lock.name for inst in function.instructions()
+        if isinstance(inst, (LockAcquire, LockRelease)))
+
+    def transfer(may: Set[str], must: Set[str], block: BasicBlock) -> None:
+        for inst in block.instructions:
+            if isinstance(inst, LockAcquire):
+                may.add(inst.lock.name)
+                must.add(inst.lock.name)
+            elif isinstance(inst, LockRelease):
+                may.discard(inst.lock.name)
+                must.discard(inst.lock.name)
+
+    may_out: Dict[int, Set[str]] = {id(b): set() for b in function.blocks}
+    must_out: Dict[int, Set[str]] = {id(b): set(universe)
+                                     for b in function.blocks}
+    changed = True
+    while changed:
+        changed = False
+        for block in order:
+            ins = [p for p in preds[block] if id(p) in reachable]
+            if block is entry:
+                may, must = set(), set()
+            else:
+                may = set().union(*(may_out[id(p)] for p in ins)) \
+                    if ins else set()
+                must = set.intersection(*(set(must_out[id(p)]) for p in ins)) \
+                    if ins else set()
+            transfer(may, must, block)
+            if may != may_out[id(block)] or must != must_out[id(block)]:
+                may_out[id(block)] = may
+                must_out[id(block)] = must
+                changed = True
+
+    for block in order:
+        ins = [p for p in preds[block] if id(p) in reachable]
+        if block is entry:
+            may, must = set(), set()
+        else:
+            may = set().union(*(may_out[id(p)] for p in ins)) if ins else set()
+            must = set.intersection(*(set(must_out[id(p)]) for p in ins)) \
+                if ins else set()
+        for inst in block.instructions:
+            if isinstance(inst, LockAcquire):
+                if inst.lock.name in may:
+                    raise VerificationError(
+                        "%s: block %s re-acquires lock @%s already held on "
+                        "some path" % (function.name, block.name,
+                                       inst.lock.name))
+                may.add(inst.lock.name)
+                must.add(inst.lock.name)
+            elif isinstance(inst, LockRelease):
+                if inst.lock.name not in must:
+                    raise VerificationError(
+                        "%s: block %s releases lock @%s without a dominating "
+                        "acquire" % (function.name, block.name,
+                                     inst.lock.name))
+                may.discard(inst.lock.name)
+                must.discard(inst.lock.name)
+            elif isinstance(inst, BarrierWait):
+                if may:
+                    raise VerificationError(
+                        "%s: block %s waits on barrier @%s while holding "
+                        "lock(s) %s" % (function.name, block.name,
+                                        inst.barrier.name,
+                                        ", ".join("@" + name
+                                                  for name in sorted(may))))
 
 
 # ---------------------------------------------------------------------------

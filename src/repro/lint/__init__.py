@@ -1,0 +1,70 @@
+"""Static lint layer: dataflow engine, sync analyses, race detection.
+
+Public surface:
+
+* :func:`lint_module` — run the race detector over a compiled module
+  and return a finalized, deterministically-ordered
+  :class:`~repro.lint.diagnostics.LintReport`;
+* :mod:`repro.lint.dataflow` — the reusable worklist engine other
+  analyses build on;
+* the `repro-lint` CLI (:mod:`repro.lint.cli`).
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.ir import Module
+from repro.lint.dataflow import (
+    BACKWARD,
+    FORWARD,
+    TOP,
+    DataflowResult,
+    IntersectionLattice,
+    Semilattice,
+    UnionLattice,
+    run_dataflow,
+)
+from repro.lint.diagnostics import (
+    LINT_SCHEMA,
+    SEVERITY_ERROR,
+    SEVERITY_WARNING,
+    AccessSite,
+    Diagnostic,
+    LintReport,
+    baseline_fingerprints,
+    new_diagnostics,
+)
+from repro.lint.races import RaceDetector, detect_races
+from repro.lint.sync import lockset_analysis, phase_analysis
+
+
+def lint_module(module: Module, entry: str = "slave",
+                analysis=None, name: str = "module") -> LintReport:
+    """Statically check ``module``'s parallel region for data races."""
+    return detect_races(module, entry=entry, analysis=analysis, name=name)
+
+
+__all__ = [
+    "BACKWARD",
+    "FORWARD",
+    "TOP",
+    "AccessSite",
+    "DataflowResult",
+    "Diagnostic",
+    "IntersectionLattice",
+    "LINT_SCHEMA",
+    "LintReport",
+    "RaceDetector",
+    "SEVERITY_ERROR",
+    "SEVERITY_WARNING",
+    "Semilattice",
+    "UnionLattice",
+    "baseline_fingerprints",
+    "detect_races",
+    "lint_module",
+    "lockset_analysis",
+    "new_diagnostics",
+    "phase_analysis",
+    "run_dataflow",
+]

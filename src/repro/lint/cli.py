@@ -1,0 +1,197 @@
+"""The ``repro-lint`` command: static race reports for MiniC programs.
+
+::
+
+    repro-lint kernel:radix                      # text report
+    repro-lint --all-kernels --format json       # canonical JSON
+    repro-lint prog.mc --entry worker
+    repro-lint --all-kernels --format json --baseline .github/lint-baseline.json
+
+Exit status: 0 — clean (no errors; with ``--baseline``, no diagnostics
+beyond the baseline), 1 — findings, 2 — usage or I/O problems.  Output
+is deterministic: reports sort by name, diagnostics by program position,
+JSON by key — byte-identical under any ``PYTHONHASHSEED``.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from typing import Dict, List, Optional, Tuple
+
+from repro.lint.diagnostics import (
+    LINT_SCHEMA,
+    SEVERITY_ERROR,
+    baseline_fingerprints,
+)
+
+KERNEL_PREFIX = "kernel:"
+
+
+def _program_args(args) -> List[Tuple[str, str, str]]:
+    """Resolve CLI operands to ``(name, source, entry)`` triples."""
+    from repro.cli import _kernel_spec, _load_source
+    triples: List[Tuple[str, str, str]] = []
+    paths = list(args.programs)
+    if args.all_kernels:
+        from repro.splash2 import all_kernels
+        for spec in all_kernels():
+            triples.append((spec.name, spec.source, spec.entry))
+    for path in paths:
+        if path.startswith(KERNEL_PREFIX):
+            spec = _kernel_spec(path)
+            triples.append((spec.name, spec.source, spec.entry))
+        else:
+            name = path.rsplit("/", 1)[-1]
+            if name.endswith(".mc"):
+                name = name[:-3]
+            triples.append((name or "program", _load_source(path),
+                            args.entry))
+    return triples
+
+
+def _lint_one(name: str, source: str, entry: str, store=None) -> Dict:
+    """One report in ``as_dict`` form (via the store cache if given)."""
+    def compute() -> Dict:
+        from repro.frontend import compile_source
+        from repro.lint import lint_module
+        module = compile_source(source, name)
+        return lint_module(module, entry=entry, name=name).as_dict()
+    if store is not None:
+        return store.get_lint(source, name, entry, compute)
+    return compute()
+
+
+def _render_site(site: Dict) -> str:
+    return "%s:%s:%%v%d %s @%s" % (
+        site["function"], site["block"], site["vid"], site["kind"],
+        site["location"])
+
+
+def _render_diag(diag: Dict) -> str:
+    return "%s: %s: %s [%s] (witness: %s)" % (
+        _render_site(diag["access"]), diag["severity"], diag["message"],
+        diag["code"], _render_site(diag["witness"]))
+
+
+def _render_text(report: Dict) -> str:
+    summary = report["summary"]
+    lines = ["%s (entry %s): %d error(s), %d warning(s)"
+             % (report["name"], report["entry"], summary["errors"],
+                summary["warnings"])]
+    for diag in report["diagnostics"]:
+        lines.append("  " + _render_diag(diag))
+    return "\n".join(lines)
+
+
+def _load_baseline(path: str) -> Dict[str, int]:
+    try:
+        with open(path, "r", encoding="utf-8") as handle:
+            data = json.load(handle)
+    except (OSError, ValueError) as exc:
+        raise SystemExit("error: cannot read baseline %r: %s" % (path, exc))
+    reports = data.get("reports", [data]) if isinstance(data, dict) else data
+    return baseline_fingerprints(reports)
+
+
+def _new_beyond_baseline(reports: List[Dict],
+                         baseline: Dict[str, int]) -> List[Tuple[str, Dict]]:
+    remaining = dict(baseline)
+    fresh: List[Tuple[str, Dict]] = []
+    for report in reports:
+        for diag in report.get("diagnostics", ()):
+            fp = diag.get("fingerprint", "")
+            if remaining.get(fp, 0) > 0:
+                remaining[fp] -= 1
+            else:
+                fresh.append((report["name"], diag))
+    return fresh
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="repro-lint",
+        description="Static race detection (lockset + barrier phases) "
+                    "for MiniC parallel programs.")
+    parser.add_argument("programs", nargs="*",
+                        help="program paths, '-' for stdin, or kernel:NAME")
+    parser.add_argument("--all-kernels", action="store_true",
+                        help="lint every bundled SPLASH-2 kernel")
+    parser.add_argument("--entry", default="slave",
+                        help="SPMD entry function for plain programs "
+                             "(default: slave)")
+    parser.add_argument("--format", choices=("text", "json"), default="text")
+    parser.add_argument("--baseline", metavar="FILE",
+                        help="previous JSON report; fail only on "
+                             "diagnostics beyond it")
+    parser.add_argument("-o", "--output", metavar="FILE",
+                        help="write the report here instead of stdout")
+    parser.add_argument("--store", metavar="PATH",
+                        help="artifact store root for cached lint reports")
+    args = parser.parse_args(argv)
+
+    try:
+        triples = _program_args(args)
+    except SystemExit as exc:
+        print(exc, file=sys.stderr)
+        return 2
+    if not triples:
+        parser.error("no programs given (pass paths, kernel:NAME, "
+                     "or --all-kernels)")
+
+    store = None
+    if args.store:
+        from repro.store import open_store
+        store = open_store(args.store)
+
+    reports = []
+    for name, source, entry in sorted(triples):
+        try:
+            reports.append(_lint_one(name, source, entry, store=store))
+        except SystemExit:
+            raise
+        except Exception as exc:
+            print("error: linting %s failed: %s" % (name, exc),
+                  file=sys.stderr)
+            return 2
+
+    if args.format == "json":
+        payload = reports[0] if len(reports) == 1 else {
+            "schema": LINT_SCHEMA, "reports": reports}
+        text = json.dumps(payload, sort_keys=True, indent=2) + "\n"
+    else:
+        text = "\n".join(_render_text(r) for r in reports) + "\n"
+
+    if args.output:
+        try:
+            with open(args.output, "w", encoding="utf-8") as handle:
+                handle.write(text)
+        except OSError as exc:
+            print("error: cannot write %r: %s" % (args.output, exc),
+                  file=sys.stderr)
+            return 2
+    else:
+        sys.stdout.write(text)
+
+    if args.baseline:
+        try:
+            baseline = _load_baseline(args.baseline)
+        except SystemExit as exc:
+            print(exc, file=sys.stderr)
+            return 2
+        fresh = _new_beyond_baseline(reports, baseline)
+        if fresh:
+            print("%d new diagnostic(s) beyond baseline:" % len(fresh),
+                  file=sys.stderr)
+            for name, diag in fresh:
+                print("  [%s] %s" % (name, _render_diag(diag)),
+                      file=sys.stderr)
+            return 1
+        return 0
+    errors = sum(r["summary"]["errors"] for r in reports)
+    return 1 if errors else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -9,6 +9,7 @@ campaigns, and the benchmark harnesses all drive.
 
 from __future__ import annotations
 
+import dataclasses
 import os
 from dataclasses import dataclass, field
 from typing import Callable, Optional, Union
@@ -88,6 +89,8 @@ class ParallelProgram:
     #: existed unpickle into valid (unoptimized, interpreted) objects.
     opt_level = 0
     backend = "interpreter"
+    #: Fallback for programs pickled before the lint layer existed.
+    lint_report = None
 
     def __init__(self, source: str, name: str = "program",
                  entry: str = "slave",
@@ -108,15 +111,37 @@ class ParallelProgram:
             raise ValueError("analysis entry %r != program entry %r"
                              % (aconfig.entry, entry))
         #: Resolved configs, kept so the artifact store can compute the
-        #: program's content hash (source + every compile option).
+        #: program's content hash (source + every compile option).  The
+        #: stored config is the caller's — the race-aware refinement
+        #: below derives ``racy_locations`` from the source, so it never
+        #: changes the program's content address.
         self.analysis_config = aconfig
         self.instrument_config = instrument_config
-        self.analysis: SimilarityResult = analyze_module(self.protected, aconfig)
+        #: Static race report over the baseline image (None when the
+        #: refinement is disabled).  Error-severity findings feed the
+        #: race-aware refinement: branches whose conditions load racy
+        #: locations are demoted and never checked.
+        self.lint_report = None
+        effective = aconfig
+        pre_analysis: Optional[SimilarityResult] = None
+        if aconfig.race_refinement:
+            from repro.lint import lint_module
+            pre_analysis = analyze_module(self.baseline, aconfig)
+            self.lint_report = lint_module(self.baseline, entry=entry,
+                                           analysis=pre_analysis, name=name)
+            racy = set(aconfig.racy_locations)
+            racy.update(self.lint_report.racy_locations)
+            if racy != set(aconfig.racy_locations):
+                effective = dataclasses.replace(
+                    aconfig, racy_locations=tuple(sorted(racy)))
+        self.analysis: SimilarityResult = analyze_module(
+            self.protected, effective)
         self.metadata = instrument_module(self.protected, self.analysis,
                                           instrument_config)
         #: Analysis of the baseline image (identical IR), for reporting.
-        self.baseline_analysis: SimilarityResult = analyze_module(
-            self.baseline, aconfig)
+        self.baseline_analysis: SimilarityResult = (
+            pre_analysis if effective is aconfig and pre_analysis is not None
+            else analyze_module(self.baseline, effective))
         #: Optimization level and default execution backend, resolved
         #: from the arguments or the environment at construction time.
         self.opt_level = resolve_opt_level(opt_level)

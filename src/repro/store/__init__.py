@@ -35,6 +35,7 @@ from repro.store.hashing import (
     JOURNAL_SCHEMA,
     golden_fingerprint,
     golden_key,
+    lint_key,
     plan_fingerprint,
     program_key,
     program_key_of,
@@ -56,7 +57,7 @@ __all__ = [
     "PlanMismatchError", "StoreCorruptError", "StoreError",
     "StoreSchemaError",
     "default_store", "open_store", "set_default_store",
-    "golden_fingerprint", "golden_key", "plan_fingerprint",
+    "golden_fingerprint", "golden_key", "lint_key", "plan_fingerprint",
     "program_key", "program_key_of",
     "record_from_dict", "record_to_dict", "spec_from_dict", "spec_to_dict",
 ]

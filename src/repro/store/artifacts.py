@@ -38,6 +38,7 @@ from repro.errors import StoreCorruptError, StoreError, StoreSchemaError
 from repro.store.hashing import (
     ARTIFACT_SCHEMA,
     golden_key,
+    lint_key,
     program_key,
 )
 
@@ -230,6 +231,24 @@ class ArtifactStore:
         bundle = compute()
         self.put(key, "closure", bundle, name="closure bundle")
         return bundle
+
+    def get_lint(self, source: str, name: str, entry: str,
+                 compute: Callable[[], dict], telemetry=None) -> dict:
+        """One lint report (as its ``as_dict`` form — plain JSON-safe
+        data) per distinct (source, entry, diagnostic schema).  Counters:
+        ``store.lint.hit`` / ``store.lint.miss``."""
+        from repro.lint import LINT_SCHEMA
+        key = lint_key(source, name, entry, LINT_SCHEMA)
+        try:
+            report = self.load(key, "lint")
+            self._count("store.lint.hit", telemetry)
+            return report
+        except StoreError:
+            pass
+        self._count("store.lint.miss", telemetry)
+        report = compute()
+        self.put(key, "lint", report, name="lint %s" % name)
+        return report
 
     def get_golden(self, prog_key: str, nthreads: int, seed: int,
                    quantum: int, output_globals: Tuple[str, ...],

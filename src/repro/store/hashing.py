@@ -150,6 +150,23 @@ def describe_plan_mismatch(recorded: dict, current: dict) -> str:
     return "; ".join(diffs) if diffs else "(no field differences)"
 
 
+def lint_key(source: str, name: str, entry: str, lint_schema: int) -> str:
+    """Content address of one static lint report.
+
+    Keyed on the *source* (plus entry and the diagnostic schema), not a
+    program key: lint runs on the un-instrumented module, so analysis /
+    instrument / optimizer options cannot change the report.
+    """
+    return _digest({
+        "schema": ARTIFACT_SCHEMA,
+        "kind": "lint",
+        "lint_schema": int(lint_schema),
+        "source": source,
+        "name": name,
+        "entry": entry,
+    })
+
+
 def golden_key(prog_key: str, nthreads: int, seed: int, quantum: int,
                output_globals: Tuple[str, ...]) -> str:
     """Cache key of one golden run (inputs only)."""

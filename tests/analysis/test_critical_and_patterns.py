@@ -13,8 +13,9 @@ global lock l2;
 """
 
 
-def sections_for(body: str, extra: str = ""):
-    module = compile_source(PRELUDE + extra + "\nfunc slave() { %s }" % body)
+def sections_for(body: str, extra: str = "", verify: bool = True):
+    module = compile_source(PRELUDE + extra + "\nfunc slave() { %s }" % body,
+                            verify=verify)
     f = module.function_named("slave")
     return module, f, CriticalSections(f)
 
@@ -44,9 +45,11 @@ class TestCriticalSections:
         assert not cs.in_critical_section(branch)
 
     def test_lock_spanning_branches_conservative(self):
-        """If only one path locks, the join is treated as locked (max)."""
+        """If only one path locks, the join is treated as locked (max).
+        The verifier rejects this unbalanced protocol, so compile
+        unverified — the analysis must stay conservative on bad input."""
         _, f, cs = sections_for(
-            "if (n > 2) { lock(l); } g = 1; unlock(l);")
+            "if (n > 2) { lock(l); } g = 1; unlock(l);", verify=False)
         store = next(i for i in f.instructions() if i.opcode == "store")
         assert cs.depth_at(store) == 1
 

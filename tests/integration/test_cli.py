@@ -89,3 +89,26 @@ class TestInject:
         assert main(["inject", demo_file, "-t", "2", "-n", "5",
                      "--fault", "condition", "--outputs", "out"]) == 0
         assert "branch-condition" in capsys.readouterr().out
+
+
+class TestArgumentErrors:
+    """Bad operands exit with a one-line message, never a traceback."""
+
+    def test_unknown_kernel_message(self):
+        with pytest.raises(SystemExit) as excinfo:
+            main(["dump", "kernel:nope"])
+        message = str(excinfo.value.code)
+        assert message.startswith("error:")
+        assert "nope" in message and "radix" in message
+
+    def test_missing_program_path_message(self):
+        with pytest.raises(SystemExit) as excinfo:
+            main(["dump", "/no/such/program.mc"])
+        message = str(excinfo.value.code)
+        assert message.startswith("error:")
+        assert "/no/such/program.mc" in message
+
+    def test_run_subcommand_shares_the_handling(self):
+        with pytest.raises(SystemExit) as excinfo:
+            main(["run", "kernel:nope", "-t", "2"])
+        assert str(excinfo.value.code).startswith("error:")

@@ -1,0 +1,95 @@
+"""Verifier tests for the synchronization-protocol checks."""
+
+import pytest
+
+from repro.errors import VerificationError
+from repro.frontend import compile_source
+
+PRELUDE = """
+global int n = 8;
+global int g;
+global lock l;
+global lock l2;
+global barrier b;
+"""
+
+
+def compile_slave(body: str, extra: str = "", verify: bool = True):
+    return compile_source(PRELUDE + extra + "\nfunc slave() { %s }" % body,
+                          verify=verify)
+
+
+class TestMalformedProtocols:
+    def test_release_without_acquire(self):
+        with pytest.raises(VerificationError,
+                           match="without a dominating acquire"):
+            compile_slave("unlock(l);")
+
+    def test_release_on_one_path_only(self):
+        # the then-path acquires, the else-path does not: the release
+        # has no *dominating* acquire
+        with pytest.raises(VerificationError,
+                           match="without a dominating acquire"):
+            compile_slave("if (n > 2) { lock(l); } g = 1; unlock(l);")
+
+    def test_straight_line_double_acquire(self):
+        with pytest.raises(VerificationError, match="re-acquires"):
+            compile_slave("lock(l); lock(l); g = 1; unlock(l); unlock(l);")
+
+    def test_double_acquire_on_a_path(self):
+        with pytest.raises(VerificationError, match="re-acquires"):
+            compile_slave(
+                "lock(l); if (n > 2) { lock(l); } g = 1; unlock(l);")
+
+    def test_loop_reacquires_unreleased_lock(self):
+        body = """
+        local int i;
+        for (i = 0; i < n; i = i + 1) { lock(l); g = i; }
+        """
+        with pytest.raises(VerificationError, match="re-acquires"):
+            compile_slave(body)
+
+    def test_barrier_while_holding_lock(self):
+        with pytest.raises(VerificationError, match="waits on barrier"):
+            compile_slave("lock(l); barrier(b); unlock(l);")
+
+    def test_barrier_while_lock_may_be_held(self):
+        # held on only one path still deadlocks that schedule
+        with pytest.raises(VerificationError, match="waits on barrier"):
+            compile_slave(
+                "if (n > 2) { lock(l); } barrier(b); "
+                "if (n > 2) { unlock(l); }")
+
+    def test_error_names_the_function(self):
+        extra = "func helper() { unlock(l2); }"
+        with pytest.raises(VerificationError, match="helper"):
+            compile_slave("g = 1;", extra=extra)
+
+
+class TestWellFormedProtocols:
+    def test_balanced_pair(self):
+        compile_slave("lock(l); g = 1; unlock(l);")
+
+    def test_nested_distinct_locks(self):
+        compile_slave("lock(l); lock(l2); g = 1; unlock(l2); unlock(l);")
+
+    def test_conditional_balanced_region(self):
+        compile_slave("if (n > 2) { lock(l); g = 1; unlock(l); } g = 2;")
+
+    def test_reacquire_after_release(self):
+        compile_slave("lock(l); g = 1; unlock(l); lock(l); g = 2; unlock(l);")
+
+    def test_lock_per_loop_iteration(self):
+        body = """
+        local int i;
+        for (i = 0; i < n; i = i + 1) { lock(l); g = i; unlock(l); }
+        """
+        compile_slave(body)
+
+    def test_barrier_between_critical_sections(self):
+        compile_slave(
+            "lock(l); g = 1; unlock(l); barrier(b); "
+            "lock(l); g = 2; unlock(l);")
+
+    def test_verify_false_skips_the_checks(self):
+        compile_slave("unlock(l);", verify=False)  # must not raise

@@ -1,0 +1,156 @@
+"""Tests for the ``repro-lint`` command-line tool."""
+
+import json
+
+import pytest
+
+from repro.lint.cli import main
+from repro.store import open_store
+
+RACY = """
+global int nprocs;
+global int counter;
+global lock l;
+
+func slave() {
+  counter = counter + 1;
+}
+"""
+
+CLEAN = """
+global int nprocs;
+global int counter;
+global lock l;
+
+func slave() {
+  lock(l);
+  counter = counter + 1;
+  unlock(l);
+}
+"""
+
+
+@pytest.fixture
+def racy_file(tmp_path):
+    path = tmp_path / "racy.mc"
+    path.write_text(RACY)
+    return str(path)
+
+
+@pytest.fixture
+def clean_file(tmp_path):
+    path = tmp_path / "clean.mc"
+    path.write_text(CLEAN)
+    return str(path)
+
+
+class TestExitCodes:
+    def test_clean_program_exits_zero(self, clean_file, capsys):
+        assert main([clean_file]) == 0
+        out = capsys.readouterr().out
+        assert "0 error(s)" in out
+
+    def test_racy_program_exits_one(self, racy_file, capsys):
+        assert main([racy_file]) == 1
+        out = capsys.readouterr().out
+        assert "scalar-race" in out
+
+    def test_kernel_spec_exits_zero(self, capsys):
+        assert main(["kernel:radix"]) == 0
+        assert "radix" in capsys.readouterr().out
+
+    def test_unknown_kernel_exits_two(self, capsys):
+        assert main(["kernel:nope"]) == 2
+        err = capsys.readouterr().err
+        assert err.startswith("error:") and "nope" in err
+
+    def test_missing_path_exits_two(self, capsys):
+        assert main(["/no/such/program.mc"]) == 2
+        err = capsys.readouterr().err
+        assert err.startswith("error:")
+        assert "Traceback" not in err
+
+    def test_no_programs_is_a_usage_error(self, capsys):
+        with pytest.raises(SystemExit):
+            main([])
+
+
+class TestJsonFormat:
+    def test_single_program_payload(self, racy_file, capsys):
+        main([racy_file, "--format", "json"])
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["name"] == "racy"
+        assert payload["summary"]["errors"] > 0
+        assert all(d["fingerprint"] for d in payload["diagnostics"])
+
+    def test_multi_program_payload_sorted_by_name(self, racy_file,
+                                                  clean_file, capsys):
+        main([racy_file, clean_file, "--format", "json"])
+        payload = json.loads(capsys.readouterr().out)
+        names = [r["name"] for r in payload["reports"]]
+        assert names == sorted(names) == ["clean", "racy"]
+
+    def test_output_file(self, racy_file, tmp_path, capsys):
+        out = tmp_path / "report.json"
+        main([racy_file, "--format", "json", "-o", str(out)])
+        assert capsys.readouterr().out == ""
+        payload = json.loads(out.read_text())
+        assert payload["summary"]["errors"] > 0
+
+    def test_unwritable_output_exits_two(self, clean_file, capsys):
+        assert main([clean_file, "-o", "/no/such/dir/report.json"]) == 2
+        assert capsys.readouterr().err.startswith("error:")
+
+
+class TestBaseline:
+    def test_same_report_is_clean_against_itself(self, racy_file, tmp_path,
+                                                 capsys):
+        base = tmp_path / "base.json"
+        main([racy_file, "--format", "json", "-o", str(base)])
+        # the racy program exits 0 once its findings are baselined
+        assert main([racy_file, "--baseline", str(base)]) == 0
+
+    def test_new_diagnostics_fail(self, racy_file, clean_file, tmp_path,
+                                  capsys):
+        base = tmp_path / "base.json"
+        main([clean_file, "--format", "json", "-o", str(base)])
+        capsys.readouterr()
+        assert main([racy_file, "--baseline", str(base)]) == 1
+        err = capsys.readouterr().err
+        assert "new diagnostic(s) beyond baseline" in err
+
+    def test_missing_baseline_exits_two(self, clean_file, capsys):
+        assert main([clean_file, "--baseline", "/no/such/base.json"]) == 2
+        assert capsys.readouterr().err.startswith("error:")
+
+    def test_checked_in_kernel_baseline_is_current(self, capsys):
+        # guards the committed CI baseline against drift
+        assert main(["--all-kernels", "--format", "json",
+                     "--baseline", ".github/lint-baseline.json"]) == 0
+
+
+class TestStoreCache:
+    def test_lint_reports_are_cached(self, racy_file, tmp_path, capsys):
+        root = str(tmp_path / "store")
+        assert main([racy_file, "--store", root]) == 1
+        first = capsys.readouterr().out
+        assert main([racy_file, "--store", root]) == 1
+        second = capsys.readouterr().out
+        assert first == second
+        store = open_store(root)
+        entries = [e for e in store.entries() if e.kind == "lint"]
+        assert len(entries) == 1
+
+    def test_get_lint_counts_hits(self, tmp_path):
+        store = open_store(str(tmp_path / "store"))
+        calls = []
+
+        def compute():
+            calls.append(1)
+            return {"name": "x", "diagnostics": [],
+                    "summary": {"errors": 0, "warnings": 0}}
+
+        a = store.get_lint("src", "x", "slave", compute)
+        b = store.get_lint("src", "x", "slave", compute)
+        assert a == b
+        assert len(calls) == 1

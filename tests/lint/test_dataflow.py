@@ -1,0 +1,146 @@
+"""Tests for the reusable worklist dataflow engine."""
+
+import pytest
+
+from repro.frontend import compile_source
+from repro.ir import BarrierWait
+from repro.lint.dataflow import (
+    BACKWARD,
+    FORWARD,
+    TOP,
+    IntersectionLattice,
+    UnionLattice,
+    run_dataflow,
+)
+
+PRELUDE = """
+global int n = 8;
+global int g;
+global int out[64];
+global lock l;
+global barrier b;
+"""
+
+
+def slave_fn(body: str):
+    module = compile_source(PRELUDE + "\nfunc slave() { %s }" % body)
+    return module.function_named("slave")
+
+
+def stores(function):
+    return [i for i in function.instructions() if i.opcode == "store"]
+
+
+class _StoreBlocks(UnionLattice):
+    """May-set of block names that executed a global store on some path."""
+
+
+def store_block_transfer(fact, inst):
+    if inst.opcode == "store":
+        return fact | {inst.parent.name}
+    return fact
+
+
+class TestForward:
+    def test_straight_line_accumulates(self):
+        f = slave_fn("g = 1; g = 2;")
+        res = run_dataflow(f, _StoreBlocks(), store_block_transfer)
+        first, second = stores(f)
+        assert res.before(first) == frozenset()
+        assert res.after(first) == res.before(second)
+        assert len(res.after(second)) == 1  # both stores share a block
+
+    def test_branch_join_is_union(self):
+        f = slave_fn("if (n > 2) { g = 1; } else { g = 2; } g = 3;")
+        res = run_dataflow(f, _StoreBlocks(), store_block_transfer)
+        merge_store = next(s for s in stores(f)
+                           if s.parent.name == "if.end")
+        # both arms' blocks reach the merge point
+        assert res.before(merge_store) == {"if.then", "if.else"}
+
+    def test_loop_reaches_fixpoint(self):
+        f = slave_fn(
+            "local int i; for (i = 0; i < n; i = i + 1) { g = i; } g = 0;")
+        res = run_dataflow(f, _StoreBlocks(), store_block_transfer)
+        body_store, exit_store = stores(f)
+        # the back edge feeds the body store's own block into its input
+        assert body_store.parent.name in res.before(body_store)
+        assert body_store.parent.name in res.before(exit_store)
+
+
+class TestMustJoin:
+    class _MustStore(IntersectionLattice):
+        pass
+
+    @staticmethod
+    def transfer(fact, inst):
+        if fact is TOP:
+            return fact
+        if inst.opcode == "store":
+            return fact | {"wrote"}
+        return fact
+
+    @staticmethod
+    def load_of_g(function):
+        return next(i for i in function.instructions()
+                    if i.opcode == "load" and i.global_.name == "g")
+
+    def test_both_arms_store_is_must(self):
+        f = slave_fn("if (n > 2) { g = 1; } else { g = 2; } output(g);")
+        res = run_dataflow(f, self._MustStore(), self.transfer)
+        assert res.before(self.load_of_g(f)) == frozenset({"wrote"})
+
+    def test_one_arm_store_is_not_must(self):
+        f = slave_fn("if (n > 2) { g = 1; } output(g);")
+        res = run_dataflow(f, self._MustStore(), self.transfer)
+        assert res.before(self.load_of_g(f)) == frozenset()
+
+
+class TestBackward:
+    class _BarrierAhead(UnionLattice):
+        pass
+
+    @staticmethod
+    def transfer(fact, inst):
+        if isinstance(inst, BarrierWait):
+            return frozenset({"B"})
+        return fact
+
+    def test_barrier_on_some_path_ahead(self):
+        f = slave_fn("g = 1; if (n > 2) { barrier(b); } g = 2;")
+        res = run_dataflow(f, self._BarrierAhead(), self.transfer,
+                           direction=BACKWARD)
+        first, last = stores(f)
+        # before/after keep program-order meaning for backward problems
+        assert res.before(first) == frozenset({"B"})
+        assert res.before(last) == frozenset()
+
+    def test_no_barrier_ahead(self):
+        f = slave_fn("g = 1; g = 2;")
+        res = run_dataflow(f, self._BarrierAhead(), self.transfer,
+                           direction=BACKWARD)
+        assert res.before(stores(f)[0]) == frozenset()
+
+
+class TestEngineSafety:
+    def test_unknown_direction_rejected(self):
+        f = slave_fn("g = 1;")
+        with pytest.raises(ValueError, match="direction"):
+            run_dataflow(f, _StoreBlocks(), store_block_transfer,
+                         direction="sideways")
+
+    def test_non_monotone_transfer_trips_safety_valve(self):
+        f = slave_fn("local int i; for (i = 0; i < n; i = i + 1) { g = i; }")
+        ticks = [0]
+
+        def churning(fact, inst):
+            ticks[0] += 1
+            return frozenset({ticks[0]})  # new fact every visit
+
+        with pytest.raises(RuntimeError, match="did not converge"):
+            run_dataflow(f, _StoreBlocks(), churning, max_passes=50)
+
+    def test_forward_is_default(self):
+        f = slave_fn("g = 1;")
+        res = run_dataflow(f, _StoreBlocks(), store_block_transfer)
+        assert res.direction == FORWARD

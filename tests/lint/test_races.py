@@ -1,0 +1,188 @@
+"""Tests for the static race detector over fixtures and kernels."""
+
+import pytest
+
+from repro.frontend import compile_source
+from repro.lint import SEVERITY_ERROR, SEVERITY_WARNING, lint_module
+from repro.splash2 import KERNELS, kernel
+
+PRELUDE = """
+global int n = 8;
+global int counter;
+global int g;
+global int out[64];
+global int hist[64];
+global lock l;
+global barrier b;
+global barrier b2;
+"""
+
+
+def lint(body: str, extra: str = "") -> "LintReport":
+    module = compile_source(PRELUDE + extra + "\nfunc slave() { %s }" % body)
+    return lint_module(module)
+
+
+def lint_file(path: str):
+    with open(path, "r", encoding="utf-8") as handle:
+        source = handle.read()
+    return lint_module(compile_source(source, path))
+
+
+class TestRacyFixtures:
+    def test_missing_lock_flags_scalar_races(self):
+        report = lint_file("examples/racy/missing_lock.mc")
+        assert report.errors
+        assert {d.code for d in report.errors} == {"scalar-race"}
+        assert report.racy_locations == ("counter",)
+
+    def test_cross_phase_flags_mixed_index(self):
+        report = lint_file("examples/racy/cross_phase.mc")
+        assert [d.code for d in report.errors] == ["mixed-index"]
+
+    def test_overlapping_indices_flags_overlap(self):
+        report = lint_file("examples/racy/overlapping_indices.mc")
+        assert [d.code for d in report.errors] == ["index-overlap"]
+
+    def test_diagnostics_carry_witnesses(self):
+        report = lint_file("examples/racy/missing_lock.mc")
+        for diag in report.errors:
+            assert diag.access.location == "counter"
+            assert diag.witness.location == "counter"
+            assert diag.access.kind == "store"  # store anchors the pair
+
+
+class TestSuppression:
+    def test_lock_protects_scalar(self):
+        report = lint("lock(l); counter = counter + 1; unlock(l);")
+        assert not report.diagnostics
+        assert report.stats["lock_protected"] > 0
+
+    def test_unlocked_increment_races(self):
+        report = lint("counter = counter + 1;")
+        assert {d.code for d in report.errors} == {"scalar-race"}
+
+    def test_unique_thread_guard_suppresses(self):
+        report = lint("if (tid() == 0) { counter = 5; output(counter); }")
+        assert not report.errors
+        assert report.stats["unique_thread"] > 0
+
+    def test_guarded_store_vs_naked_load_races(self):
+        report = lint(
+            "if (tid() == 0) { counter = 5; } "
+            "local int x = counter; output(x);")
+        assert {d.code for d in report.errors} == {"scalar-race"}
+
+    def test_barrier_separates_phases(self):
+        report = lint(
+            "if (tid() == 0) { counter = 7; } barrier(b); "
+            "out[tid()] = counter;")
+        assert not report.errors
+        assert report.stats["phase_disjoint"] > 0
+
+    def test_missing_barrier_is_caught(self):
+        report = lint("if (tid() == 0) { counter = 7; } out[tid()] = counter;")
+        assert report.errors
+
+    def test_publish_then_read_loop_needs_trailing_barrier(self):
+        racy = """
+        local int i;
+        for (i = 0; i < n; i = i + 1) {
+          if (tid() == 0) { out[0] = i; }
+          barrier(b);
+          output(out[0]);
+        }
+        """
+        fixed = racy.replace("output(out[0]);",
+                             "output(out[0]); barrier(b2);")
+        assert lint(racy).errors
+        assert not lint(fixed).errors
+
+
+class TestIndexVerdicts:
+    def test_tid_indexed_arrays_are_disjoint(self):
+        report = lint("out[tid()] = tid(); local int y = out[tid()]; "
+                      "output(y);")
+        assert not report.diagnostics
+        assert report.stats["tid_disjoint"] > 0
+
+    def test_constant_offset_overlap(self):
+        report = lint("out[tid()] = 1; out[tid() + 1] = 2;")
+        assert [d.code for d in report.errors] == ["index-overlap"]
+
+    def test_stride_two_with_odd_offset_is_disjoint(self):
+        report = lint("out[tid() * 2] = 1; out[tid() * 2 + 1] = 2;")
+        assert not report.diagnostics
+
+    def test_stride_two_with_even_offset_collides(self):
+        report = lint("out[tid() * 2] = 1; out[tid() * 2 + 2] = 2;")
+        assert [d.code for d in report.errors] == ["index-overlap"]
+
+    def test_shared_index_store_is_an_error(self):
+        # every thread computes the same index: a true same-cell race
+        report = lint("out[counter] = 1;")
+        assert report.errors
+
+    def test_data_dependent_scatter_is_a_warning(self):
+        report = lint("out[tid()] = tid(); hist[out[tid()]] = 1;")
+        assert not report.errors
+        assert [d.code for d in report.warnings] == ["unproven-index"]
+        assert report.warnings[0].severity == SEVERITY_WARNING
+
+    def test_tid_store_vs_shared_load_mixed_index(self):
+        # writers scatter by tid while a reader walks a shared index
+        report = lint("""
+        out[tid()] = tid();
+        local int i;
+        local int s = 0;
+        for (i = 0; i < n; i = i + 1) { s = s + out[i]; }
+        output(s);
+        """)
+        assert {d.code for d in report.errors} == {"mixed-index"}
+
+
+class TestReportShape:
+    def test_stats_are_populated(self):
+        report = lint("counter = counter + 1;")
+        for key in ("accesses", "locations", "pairs"):
+            assert report.stats[key] > 0
+
+    def test_diagnostics_sorted_and_stable(self):
+        report = lint_file("examples/racy/missing_lock.mc")
+        keys = [d.sort_key() for d in report.diagnostics]
+        assert keys == sorted(keys)
+        again = lint_file("examples/racy/missing_lock.mc")
+        assert report.to_json() == again.to_json()
+
+    def test_as_dict_round_trips_schema(self):
+        report = lint("counter = 1;")
+        payload = report.as_dict()
+        assert payload["schema"] >= 1
+        assert payload["summary"]["errors"] == len(report.errors)
+        for diag in payload["diagnostics"]:
+            assert diag["fingerprint"]
+
+    def test_severity_partition(self):
+        report = lint_file("examples/racy/missing_lock.mc")
+        assert all(d.severity == SEVERITY_ERROR for d in report.errors)
+        assert set(report.diagnostics) == set(report.errors) | set(
+            report.warnings)
+
+
+class TestKernels:
+    @pytest.mark.parametrize("name", sorted(KERNELS))
+    def test_kernel_lints_race_free(self, name):
+        spec = kernel(name)
+        module = compile_source(spec.source, name)
+        report = lint_module(module, entry=spec.entry, name=name)
+        assert report.errors == []
+        assert report.racy_locations == ()
+
+    def test_kernel_warnings_are_honest_unknowns(self):
+        # data-dependent scatters (fft butterflies, radix histograms)
+        # surface as warnings, never errors
+        for name in sorted(KERNELS):
+            spec = kernel(name)
+            module = compile_source(spec.source, name)
+            report = lint_module(module, entry=spec.entry, name=name)
+            assert all(d.code == "unproven-index" for d in report.warnings)

@@ -15,8 +15,9 @@ global barrier b;
 
 
 def run(body: str, nthreads: int = 1, extra: str = "", seed: int = 0,
-        max_steps: int = 500_000, prelude: str = PRELUDE):
-    module = compile_source(prelude + extra + "\nfunc slave() { %s }" % body)
+        max_steps: int = 500_000, prelude: str = PRELUDE, verify: bool = True):
+    module = compile_source(prelude + extra + "\nfunc slave() { %s }" % body,
+                            verify=verify)
     machine = Machine(module, nthreads, entry="slave", seed=seed,
                       max_steps=max_steps)
     return machine.run()
@@ -109,7 +110,9 @@ class TestMultiThread:
         assert result.memory.get_array("out")[:8] == [1] * 8
 
     def test_unlock_without_lock_crashes(self):
-        result = run("unlock(l);", nthreads=2)
+        # The verifier statically rejects this protocol; compile
+        # unverified to exercise the interpreter's own runtime defense.
+        result = run("unlock(l);", nthreads=2, verify=False)
         assert result.status == "crash"
 
     def test_barrier_synchronizes(self):
