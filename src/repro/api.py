@@ -145,7 +145,8 @@ class BlockWatch:
                keep_records: bool = False,
                journal: Optional[str] = None,
                resume: bool = False,
-               store=None) -> CampaignResult:
+               store=None,
+               plan: str = "full") -> CampaignResult:
         """Run a fault-injection campaign; returns the full
         :class:`CampaignResult` (stats on ``.stats``, merged telemetry
         and trace on ``.telemetry`` when ``telemetry=True``).
@@ -164,6 +165,12 @@ class BlockWatch:
         the ``$REPRO_STORE`` process store) caches golden runs across
         campaigns.  See :mod:`repro.store`.
 
+        ``plan="stratified"`` samples per predicted vulnerability class
+        (static analysis via :mod:`repro.lint.vuln`) and reports
+        re-weighted full-sweep coverage estimates on
+        ``result.stratified``; ``injections`` becomes the total draw
+        budget.
+
         Returned results still answer for :class:`CampaignStats`
         attributes (the old return shape) with a DeprecationWarning.
         """
@@ -175,7 +182,7 @@ class BlockWatch:
         return run_campaign(self.program, fault_type, config,
                             setup=setup, jobs=jobs, telemetry=telemetry,
                             keep_records=keep_records, journal=journal,
-                            resume=resume, store=store)
+                            resume=resume, store=store, plan=plan)
 
 
 def protect(source: str, **kwargs) -> BlockWatch:

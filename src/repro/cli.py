@@ -210,14 +210,25 @@ def cmd_inject(args) -> int:
                            quantize_bits=args.quantize, jobs=args.jobs,
                            telemetry=args.trace is not None,
                            journal=args.journal, resume=args.resume,
-                           store=store)
-    except StoreError as exc:
+                           store=store, plan=args.plan)
+    except (StoreError, ValueError) as exc:
         raise SystemExit("error: %s" % exc)
     stats = result.stats
     print(format_table(
         stats.SUMMARY_HEADERS, [stats.summary_row()],
         title="Campaign: %d x %s on %s" % (args.injections, fault.value,
                                            args.program)))
+    if result.stratified is not None:
+        estimate = result.stratified["estimate"]
+        print("stratified estimate: coverage %.4f (protected) / %.4f "
+              "(original) from %d injection(s) over %d dynamic site(s)"
+              % (estimate["coverage_protected"],
+                 estimate["coverage_original"], estimate["injections"],
+                 result.stratified["total_instances"]))
+        for cls, info in sorted(result.stratified["classes"].items()):
+            print("  %-10s weight %.3f, %d instance(s), %d draw(s)"
+                  % (cls, info["weight"], info["instances"],
+                     info["planned"]))
     if args.journal is not None:
         print("journal: %s%s" % (args.journal,
                                  " (resumed)" if args.resume else ""))
@@ -317,6 +328,13 @@ def main(argv=None) -> int:
                           help="resume an interrupted campaign from "
                                "--journal (validates the plan hash; runs "
                                "only the missing injections)")
+    p_inject.add_argument("--plan", choices=("full", "stratified"),
+                          default="full",
+                          help="injection plan: 'full' samples dynamic "
+                               "branches uniformly; 'stratified' samples "
+                               "per statically-predicted vulnerability "
+                               "class and estimates full-sweep coverage "
+                               "from the -n budget")
     p_inject.set_defaults(func=cmd_inject)
 
     args = parser.parse_args(argv)

@@ -10,6 +10,7 @@ fig8      SDC coverage under branch-flip faults (paper Figure 8)
 fig9      SDC coverage under branch-condition faults (paper Figure 9)
 false_positives   the 100-error-free-runs experiment (paper Section IV)
 duplication       comparison with software duplication (paper Section VI)
+vuln_validation   static vulnerability predictions vs measured outcomes
 ========  ==================================================================
 
 Each module exposes ``compute()`` returning structured results and
@@ -28,7 +29,8 @@ from repro.experiments import (  # noqa: F401
     table3,
     table4,
     table5,
+    vuln_validation,
 )
 
 __all__ = ["coverage", "duplication", "false_positives", "fig6", "fig7",
-           "fig8", "fig9", "table3", "table4", "table5"]
+           "fig8", "fig9", "table3", "table4", "table5", "vuln_validation"]

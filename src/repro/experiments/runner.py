@@ -40,6 +40,7 @@ from repro.experiments import (
     table3,
     table4,
     table5,
+    vuln_validation,
 )
 
 EXPERIMENTS: Dict[str, Callable[[], str]] = {
@@ -52,6 +53,7 @@ EXPERIMENTS: Dict[str, Callable[[], str]] = {
     "fig9": fig9.render,
     "false-positives": false_positives.render,
     "duplication": duplication.render,
+    "vuln-validation": vuln_validation.render,
 }
 
 DESCRIPTIONS = {
@@ -64,6 +66,8 @@ DESCRIPTIONS = {
     "fig9": "SDC coverage, branch-condition faults",
     "false-positives": "error-free runs, zero reports expected",
     "duplication": "comparison against software duplication (Section VI)",
+    "vuln-validation": "static vulnerability predictions vs measured "
+                       "campaign outcomes",
 }
 
 

@@ -91,6 +91,10 @@ class CampaignResult:
     records: list = field(default_factory=list)
     golden: Optional[RunResult] = None
     telemetry: Optional[TelemetrySnapshot] = None
+    #: ``plan="stratified"`` only: the planner's JSON-safe summary —
+    #: per-class strata (weight, planned draws, outcome counts) and the
+    #: reweighted full-sweep coverage estimates.
+    stratified: Optional[dict] = None
 
     @property
     def trace_events(self) -> List[dict]:
@@ -279,6 +283,117 @@ def _injection_task(ctx: _CampaignContext, index: int) -> InjectionRecord:
     return record
 
 
+def _spec_injection_task(ctx: _CampaignContext,
+                         item: Tuple[str, FaultSpec]) -> InjectionRecord:
+    """Execute one *pre-planned* injection (stratified campaigns plan
+    every spec in the parent; workers only execute)."""
+    _cls, spec = item
+    outcome, baseline_outcome, hook = run_one_injection(
+        ctx.program, spec, ctx.config, ctx.setup, ctx.golden_signature,
+        ctx.max_steps)
+    return InjectionRecord(
+        spec=spec, outcome=outcome, baseline_outcome=baseline_outcome,
+        flipped_branch=hook.flipped_branch, detail=hook.detail)
+
+
+def allocate_stratified(budget: int, weights: Dict[str, float]
+                        ) -> Dict[str, int]:
+    """Split ``budget`` draws over strata proportionally to ``weights``
+    (largest-remainder rounding, every stratum gets at least one draw
+    while the budget allows, deterministic tie-breaks by name)."""
+    names = sorted((name for name, w in weights.items() if w > 0),
+                   key=lambda name: (-weights[name], name))
+    if not names or budget <= 0:
+        return {}
+    names = names[:budget]  # too-tight budget: keep the heaviest strata
+    total = sum(weights[name] for name in names)
+    shares = {name: budget * weights[name] / total for name in names}
+    out = {name: max(1, int(shares[name])) for name in names}
+    # Largest remainder, then deterministic trimming if min-1 overspent.
+    by_remainder = sorted(names, key=lambda name:
+                          (-(shares[name] - int(shares[name])), name))
+    index = 0
+    while sum(out.values()) < budget:
+        out[by_remainder[index % len(names)]] += 1
+        index += 1
+    by_size = sorted(names, key=lambda name: (-out[name], name))
+    index = 0
+    while sum(out.values()) > budget:
+        name = by_size[index % len(names)]
+        if out[name] > 1:
+            out[name] -= 1
+        index += 1
+    return out
+
+
+def plan_stratified(report, streams: Dict[int, List[int]],
+                    fault_type: FaultType, budget: int, base_seed: int
+                    ) -> Tuple[List[Tuple[str, FaultSpec]], dict]:
+    """Plan a stratified campaign: partition the dynamic fault-site
+    population by predicted class and allocate ``budget`` draws.
+
+    The full sweep (:func:`plan_fault`) samples a dynamic site ``(j,
+    k)`` with probability ``1/(T * n_j)`` (thread uniform among the
+    ``T`` threads that branch, then uniform among thread ``j``'s
+    ``n_j`` dynamic branches).  Each stratum inherits exactly that
+    measure, so re-weighting per-stratum outcome rates by the stratum
+    weights estimates the full sweep's coverage — from far fewer
+    injections, because strata with near-certain outcomes no longer
+    soak up samples.  Draws use counter-mode seed derivation per
+    ``(class, draw index)``: the plan is one deterministic function of
+    ``(report, golden streams, budget, seed)``, independent of worker
+    partitioning.
+    """
+    import bisect
+
+    threads = sorted(tid for tid, stream in streams.items() if stream)
+    nthreads = len(threads)
+    if not nthreads:
+        raise RuntimeError("program executed no branches; nothing to inject")
+    model = fault_type.value
+    strata: Dict[str, List[Tuple[int, int]]] = {}
+    weight_of: Dict[Tuple[int, int], float] = {}
+    for tid in threads:
+        stream = streams[tid]
+        per_site = 1.0 / (nthreads * len(stream))
+        for k, site in enumerate(stream, start=1):
+            cls = report.class_of(site, model)
+            strata.setdefault(cls, []).append((tid, k))
+            weight_of[(tid, k)] = per_site
+    weights = {cls: sum(weight_of[inst] for inst in instances)
+               for cls, instances in strata.items()}
+    planned = allocate_stratified(budget, weights)
+
+    specs: List[Tuple[str, FaultSpec]] = []
+    for cls in sorted(planned):
+        instances = sorted(strata[cls])
+        cumulative: List[float] = []
+        acc = 0.0
+        for inst in instances:
+            acc += weight_of[inst]
+            cumulative.append(acc)
+        for draw in range(planned[cls]):
+            rng = random.Random(derive_seed(
+                base_seed, "stratified", model, cls, draw))
+            position = bisect.bisect_left(cumulative, rng.random() * acc)
+            position = min(position, len(instances) - 1)
+            tid, k = instances[position]
+            specs.append((cls, FaultSpec(
+                fault_type=fault_type, thread_id=tid, branch_index=k,
+                rng_seed=rng.randrange(2 ** 31))))
+    meta = {
+        "model": model,
+        "budget": int(budget),
+        "threads": nthreads,
+        "total_instances": sum(len(s) for s in streams.values()),
+        "classes": {cls: {"weight": weights[cls],
+                          "instances": len(strata[cls]),
+                          "planned": planned.get(cls, 0)}
+                    for cls in sorted(strata)},
+    }
+    return specs, meta
+
+
 def run_campaign(program: ParallelProgram,
                  fault_type: FaultType,
                  config: CampaignConfig,
@@ -289,7 +404,9 @@ def run_campaign(program: ParallelProgram,
                  telemetry: bool = False,
                  journal: Optional[str] = None,
                  resume: bool = False,
-                 store=None
+                 store=None,
+                 plan: str = "full",
+                 vuln_report=None
                  ) -> CampaignResult:
     """Execute one full campaign and return a :class:`CampaignResult`.
 
@@ -324,7 +441,26 @@ def run_campaign(program: ParallelProgram,
     golden execution across fault types, figures, and processes.  On a
     golden-cache hit ``result.golden`` is ``None`` (stats and records
     are unaffected).
+
+    ``plan="stratified"`` switches from index-planned uniform sampling
+    to prediction-guided sampling: the static vulnerability report
+    (``vuln_report``, or one computed on the fly via
+    :func:`repro.lint.vuln.analyze_program`) partitions the dynamic
+    fault-site population by predicted class, ``config.injections``
+    becomes the total draw *budget* allocated across strata, and
+    ``result.stratified`` carries the re-weighted full-sweep coverage
+    estimates.  Stratified campaigns are incompatible with
+    ``telemetry``, ``journal``, and ``resume`` (the journal format
+    checkpoints index-planned sweeps).
     """
+    if plan not in ("full", "stratified"):
+        raise ValueError("unknown campaign plan %r (expected 'full' or "
+                         "'stratified')" % (plan,))
+    if plan == "stratified" and (journal is not None or resume):
+        raise ValueError("stratified campaigns do not support journal/"
+                         "resume; checkpoint the full sweep instead")
+    if plan == "stratified" and telemetry:
+        raise ValueError("stratified campaigns do not support telemetry")
     parent_tel = None
     if telemetry:
         parent_tel = Telemetry(context={"inj": -1, "seed": config.seed})
@@ -354,6 +490,12 @@ def run_campaign(program: ParallelProgram,
     branch_counts = dict(summary.branch_counts)
     max_steps = max(summary.steps * config.hang_factor,
                     summary.steps + 100_000)
+
+    if plan == "stratified":
+        return _run_stratified(
+            program, fault_type, config, setup, keep_records, jobs,
+            progress, store, vuln_report, golden, golden_signature,
+            max_steps)
 
     # -- journal replay / checkpoint setup ------------------------------
     pending = list(range(config.injections))
@@ -449,6 +591,84 @@ def run_campaign(program: ParallelProgram,
                                          key=lambda kv: kv[0].value)})
         result.telemetry = TelemetrySnapshot.merge_all(
             [parent_tel.snapshot()] + [r.telemetry for r in records])
+    return result
+
+
+def _run_stratified(program: ParallelProgram, fault_type: FaultType,
+                    config: CampaignConfig, setup, keep_records: bool,
+                    jobs: Optional[int], progress, store, vuln_report,
+                    golden: Optional[RunResult], golden_signature,
+                    max_steps: int) -> CampaignResult:
+    """Plan + execute a stratified campaign (the ``plan="stratified"``
+    arm of :func:`run_campaign`; golden artifacts already resolved)."""
+    from repro.faults.recording import record_site_streams
+    from repro.lint.vuln import analyze_program
+
+    if vuln_report is None:
+        vuln_report = analyze_program(
+            program, output_globals=config.output_globals, store=store)
+    streams = record_site_streams(program, config, setup=setup,
+                                  report=vuln_report)
+    specs, meta = plan_stratified(vuln_report, streams, fault_type,
+                                  config.injections, config.seed)
+
+    stats = CampaignStats(program=program.name, fault_type=fault_type.value,
+                          nthreads=config.nthreads)
+    ctx = _CampaignContext(
+        program=program, fault_type=fault_type, config=config, setup=setup,
+        golden_signature=golden_signature,
+        branch_counts={tid: len(s) for tid, s in streams.items()},
+        max_steps=max_steps)
+    records = run_tasks(
+        _spec_injection_task, specs, jobs=jobs, context=ctx,
+        context_factory=_campaign_context_from_source,
+        factory_args=(program.source, program.name, program.entry,
+                      fault_type, config, setup, golden_signature,
+                      ctx.branch_counts, max_steps, False,
+                      getattr(program, "opt_level", 0),
+                      getattr(program, "backend", "interpreter")),
+        progress=progress)
+
+    # Per-class outcome census + the re-weighted coverage estimates.
+    # Every planned spec activates (its branch index comes from the
+    # golden stream and the pre-injection prefix is deterministic), so
+    # the estimate targets the same activated population a full sweep
+    # measures coverage over.
+    by_class: Dict[str, Dict[str, int]] = {}
+    baseline_by_class: Dict[str, Dict[str, int]] = {}
+    for (cls, _spec), record in zip(specs, records):
+        stats.note(record.outcome, record.baseline_outcome)
+        census = by_class.setdefault(cls, {})
+        census[record.outcome.value] = census.get(record.outcome.value,
+                                                  0) + 1
+        baseline = baseline_by_class.setdefault(cls, {})
+        baseline[record.baseline_outcome.value] = baseline.get(
+            record.baseline_outcome.value, 0) + 1
+
+    sdc_protected = 0.0
+    sdc_original = 0.0
+    for cls, info in meta["classes"].items():
+        drawn = info["planned"]
+        if not drawn:
+            continue
+        weight = info["weight"]
+        sdc_protected += weight * (
+            by_class.get(cls, {}).get(Outcome.SDC.value, 0) / drawn)
+        sdc_original += weight * (
+            baseline_by_class.get(cls, {}).get(Outcome.SDC.value, 0)
+            / drawn)
+        info["outcomes"] = dict(sorted(by_class.get(cls, {}).items()))
+        info["baseline_outcomes"] = dict(
+            sorted(baseline_by_class.get(cls, {}).items()))
+    meta["estimate"] = {
+        "coverage_protected": 1.0 - sdc_protected,
+        "coverage_original": 1.0 - sdc_original,
+        "injections": len(specs),
+    }
+
+    result = CampaignResult(stats=stats, golden=golden, stratified=meta)
+    if keep_records:
+        result.records = list(records)
     return result
 
 

@@ -37,6 +37,23 @@ from repro.lint.diagnostics import (
 )
 from repro.lint.races import RaceDetector, detect_races
 from repro.lint.sync import lockset_analysis, phase_analysis
+from repro.lint.vuln import (
+    CLASS_MASKED,
+    CLASS_MONITORED,
+    CLASS_SDC,
+    CLASSES,
+    MODEL_CONDITION,
+    MODEL_FLIP,
+    MODELS,
+    VULN_SCHEMA,
+    VulnReport,
+    VulnSite,
+    analyze_program,
+    analyze_vulnerability,
+    branch_site_map,
+    function_fingerprint,
+    summarize_function,
+)
 
 
 def lint_module(module: Module, entry: str = "slave",
@@ -47,8 +64,16 @@ def lint_module(module: Module, entry: str = "slave",
 
 __all__ = [
     "BACKWARD",
+    "CLASSES",
+    "CLASS_MASKED",
+    "CLASS_MONITORED",
+    "CLASS_SDC",
     "FORWARD",
+    "MODELS",
+    "MODEL_CONDITION",
+    "MODEL_FLIP",
     "TOP",
+    "VULN_SCHEMA",
     "AccessSite",
     "DataflowResult",
     "Diagnostic",
@@ -60,11 +85,18 @@ __all__ = [
     "SEVERITY_WARNING",
     "Semilattice",
     "UnionLattice",
+    "VulnReport",
+    "VulnSite",
+    "analyze_program",
+    "analyze_vulnerability",
     "baseline_fingerprints",
+    "branch_site_map",
     "detect_races",
+    "function_fingerprint",
     "lint_module",
     "lockset_analysis",
     "new_diagnostics",
     "phase_analysis",
     "run_dataflow",
+    "summarize_function",
 ]

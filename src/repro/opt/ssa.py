@@ -49,7 +49,12 @@ def _default_constant(type_) -> Constant:
     return Constant(0, type_)
 
 
-def _reverse_postorder(function: Function) -> List[BasicBlock]:
+def reverse_postorder(function: Function) -> List[BasicBlock]:
+    """Blocks of ``function`` in reverse postorder over the CFG —
+    predecessors before successors except on back edges.  Unreachable
+    blocks are omitted.  The canonical iteration order for forward
+    fixpoints (SSA renaming here, def-use reach in
+    :mod:`repro.lint.vuln`)."""
     entry = function.entry
     seen = {id(entry)}
     order: List[BasicBlock] = []
@@ -68,6 +73,10 @@ def _reverse_postorder(function: Function) -> List[BasicBlock]:
             stack.pop()
     order.reverse()
     return order
+
+
+#: Backward-compatible private alias (pre-export name).
+_reverse_postorder = reverse_postorder
 
 
 # ---------------------------------------------------------------------------

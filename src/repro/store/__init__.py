@@ -39,6 +39,7 @@ from repro.store.hashing import (
     plan_fingerprint,
     program_key,
     program_key_of,
+    vuln_key,
 )
 from repro.store.journal import JournalReplay, JournalWriter, read_journal
 from repro.store.runtime import default_store, open_store, set_default_store
@@ -58,6 +59,6 @@ __all__ = [
     "StoreSchemaError",
     "default_store", "open_store", "set_default_store",
     "golden_fingerprint", "golden_key", "lint_key", "plan_fingerprint",
-    "program_key", "program_key_of",
+    "program_key", "program_key_of", "vuln_key",
     "record_from_dict", "record_to_dict", "spec_from_dict", "spec_to_dict",
 ]

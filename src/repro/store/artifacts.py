@@ -250,6 +250,25 @@ class ArtifactStore:
         self.put(key, "lint", report, name="lint %s" % name)
         return report
 
+    def get_vuln(self, key: str, compute: Callable[[], dict],
+                 name: str = "vuln summary", telemetry=None) -> dict:
+        """One per-function vulnerability summary (JSON-safe dict) per
+        distinct normalized function text — computed via
+        :func:`repro.store.hashing.vuln_key`.  A corrupt or
+        schema-mismatched entry is treated as a miss: the analysis falls
+        back to a cold :func:`compute` and overwrites the entry.
+        Counters: ``store.vuln.hit`` / ``store.vuln.miss``."""
+        try:
+            summary = self.load(key, "vuln")
+            self._count("store.vuln.hit", telemetry)
+            return summary
+        except StoreError:
+            pass
+        self._count("store.vuln.miss", telemetry)
+        summary = compute()
+        self.put(key, "vuln", summary, name=name)
+        return summary
+
     def get_golden(self, prog_key: str, nthreads: int, seed: int,
                    quantum: int, output_globals: Tuple[str, ...],
                    compute: Callable[[], GoldenSummary],

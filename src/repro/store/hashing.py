@@ -167,6 +167,22 @@ def lint_key(source: str, name: str, entry: str, lint_schema: int) -> str:
     })
 
 
+def vuln_key(fingerprint: str, vuln_schema: int) -> str:
+    """Content address of one per-function vulnerability summary.
+
+    Keyed on the *normalized function text* (module-global tags such as
+    ``send_cond`` static ids stripped — see
+    :func:`repro.lint.vuln.function_fingerprint`), so editing one
+    function re-analyzes only that function even when instrumentation
+    renumbers the whole module."""
+    return _digest({
+        "schema": ARTIFACT_SCHEMA,
+        "kind": "vuln",
+        "vuln_schema": int(vuln_schema),
+        "function": fingerprint,
+    })
+
+
 def golden_key(prog_key: str, nthreads: int, seed: int, quantum: int,
                output_globals: Tuple[str, ...]) -> str:
     """Cache key of one golden run (inputs only)."""

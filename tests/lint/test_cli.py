@@ -154,3 +154,105 @@ class TestStoreCache:
         b = store.get_lint("src", "x", "slave", compute)
         assert a == b
         assert len(calls) == 1
+
+
+class TestUpdateBaseline:
+    def test_update_writes_target_and_exits_zero(self, racy_file, tmp_path,
+                                                 capsys):
+        target = tmp_path / "base.json"
+        assert main([racy_file, "--update-baseline",
+                     "--baseline", str(target)]) == 0
+        assert "baseline updated" in capsys.readouterr().out
+        # the regenerated baseline immediately passes a compare run
+        assert main([racy_file, "--baseline", str(target)]) == 0
+
+    def test_update_is_atomic_no_temp_left_behind(self, racy_file, tmp_path):
+        target = tmp_path / "base.json"
+        main([racy_file, "--update-baseline", "--baseline", str(target)])
+        assert target.exists()
+        leftovers = [p for p in tmp_path.iterdir() if ".tmp." in p.name]
+        assert leftovers == []
+
+    def test_update_matches_json_format_bytes(self, racy_file, tmp_path,
+                                              capsys):
+        target = tmp_path / "base.json"
+        main([racy_file, "--update-baseline", "--baseline", str(target)])
+        capsys.readouterr()
+        main([racy_file, "--format", "json"])
+        assert target.read_text() == capsys.readouterr().out
+
+    def test_update_unwritable_target_exits_two(self, racy_file, capsys):
+        assert main([racy_file, "--update-baseline",
+                     "--baseline", "/no/such/dir/base.json"]) == 2
+        assert capsys.readouterr().err.startswith("error:")
+
+
+class TestJobs:
+    def test_parallel_lint_bytes_match_serial(self, racy_file, clean_file,
+                                              capsys):
+        main([racy_file, clean_file, "--format", "json"])
+        serial = capsys.readouterr().out
+        main([racy_file, clean_file, "--format", "json", "--jobs", "2"])
+        assert capsys.readouterr().out == serial
+
+    def test_parallel_vuln_bytes_match_serial(self, capsys):
+        main(["vuln", "kernel:radix", "kernel:fft", "--format", "json"])
+        serial = capsys.readouterr().out
+        main(["vuln", "kernel:radix", "kernel:fft", "--format", "json",
+              "--jobs", "2"])
+        assert capsys.readouterr().out == serial
+
+
+class TestVulnCli:
+    def test_text_report_lists_sites(self, capsys):
+        assert main(["vuln", "kernel:radix"]) == 0
+        out = capsys.readouterr().out
+        assert "site" in out and "flip=" in out
+
+    def test_json_payload_shape(self, capsys):
+        assert main(["vuln", "kernel:radix", "--format", "json"]) == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["name"] == "radix"
+        assert payload["sites"]
+        for site in payload["sites"]:
+            assert set(site["predictions"]) \
+                == {"branch-flip", "branch-condition"}
+
+    def test_plain_program_all_stores_observable(self, racy_file, capsys):
+        assert main(["vuln", racy_file]) == 0
+
+    def test_no_programs_is_a_usage_error(self, capsys):
+        with pytest.raises(SystemExit):
+            main(["vuln"])
+
+    def test_baseline_round_trip_is_clean(self, tmp_path, capsys):
+        base = tmp_path / "vuln.json"
+        assert main(["vuln", "kernel:radix", "--update-baseline",
+                     "--baseline", str(base)]) == 0
+        capsys.readouterr()
+        assert main(["vuln", "kernel:radix",
+                     "--baseline", str(base)]) == 0
+
+    def test_baseline_drift_exits_one(self, tmp_path, capsys):
+        base = tmp_path / "vuln.json"
+        main(["vuln", "kernel:radix", "--update-baseline",
+              "--baseline", str(base)])
+        capsys.readouterr()
+        # sparse-check analysis predicts different classes: drift
+        assert main(["vuln", "kernel:radix", "--sparse-checks",
+                     "--baseline", str(base)]) == 1
+        assert "drifted from baseline" in capsys.readouterr().err
+
+    def test_checked_in_vuln_baseline_is_current(self, capsys):
+        # guards the committed CI baseline against drift
+        assert main(["vuln", "--all-kernels", "--format", "json",
+                     "--baseline", ".github/vuln-baseline.json"]) == 0
+
+    def test_store_caches_summaries(self, tmp_path, capsys):
+        root = str(tmp_path / "store")
+        assert main(["vuln", "kernel:radix", "--store", root]) == 0
+        first = capsys.readouterr().out
+        assert main(["vuln", "kernel:radix", "--store", root]) == 0
+        assert capsys.readouterr().out == first
+        store = open_store(root)
+        assert [e for e in store.entries() if e.kind == "vuln"]

@@ -3,7 +3,7 @@
 import pytest
 
 from repro.frontend import compile_source
-from repro.ir import BarrierWait
+from repro.ir import BarrierWait, Branch, Constant, Function, Jump, Ret
 from repro.lint.dataflow import (
     BACKWARD,
     FORWARD,
@@ -120,6 +120,104 @@ class TestBackward:
         res = run_dataflow(f, self._BarrierAhead(), self.transfer,
                            direction=BACKWARD)
         assert res.before(stores(f)[0]) == frozenset()
+
+
+def block_name_transfer(fact, inst):
+    """Tag every block by its terminator (blocks here hold only one)."""
+    return fact | {inst.parent.name}
+
+
+def must_block_name_transfer(fact, inst):
+    if fact is TOP:
+        return fact
+    return fact | {inst.parent.name}
+
+
+class TestEdgeCases:
+    """CFG shapes the frontend never emits but hand-built IR (and future
+    passes) can: unreachable blocks, self-loops, minimal functions."""
+
+    @staticmethod
+    def orphan_fn():
+        """entry -> exit, plus an unreachable 'orphan' also -> exit."""
+        f = Function("orphan_holder")
+        entry = f.add_block("entry")
+        exit_ = f.add_block("exit")
+        orphan = f.add_block("orphan")
+        entry.append(Jump(exit_))
+        orphan.append(Jump(exit_))
+        exit_.append(Ret())
+        return f
+
+    def test_unreachable_block_keeps_optimistic_fact(self):
+        f = self.orphan_fn()
+        res = run_dataflow(f, UnionLattice(), block_name_transfer)
+        orphan_jump = f.block_named("orphan").terminator
+        assert res.before(orphan_jump) == frozenset()
+
+    def test_unreachable_block_may_effects_flow_downstream(self):
+        # Unreachable blocks are still analyzed (with the optimistic
+        # input), so a may-analysis conservatively sees their effects at
+        # the join — dead code can only widen a may-set, never shrink it.
+        f = self.orphan_fn()
+        res = run_dataflow(f, UnionLattice(), block_name_transfer)
+        ret = f.block_named("exit").terminator
+        assert res.before(ret) == frozenset({"entry", "orphan"})
+
+    def test_unreachable_block_does_not_destroy_must_join(self):
+        # For a must-analysis the orphan's TOP must be the join
+        # identity, not wipe the facts flowing in from 'entry'.
+        f = self.orphan_fn()
+        res = run_dataflow(f, IntersectionLattice(),
+                           must_block_name_transfer)
+        ret = f.block_named("exit").terminator
+        assert res.before(ret) == frozenset({"entry"})
+
+    def test_self_loop_join_reaches_fixpoint(self):
+        f = Function("selfloop")
+        entry = f.add_block("entry")
+        loop = f.add_block("loop")
+        exit_ = f.add_block("exit")
+        entry.append(Jump(loop))
+        loop.append(Branch(Constant(True), loop, exit_))
+        exit_.append(Ret())
+        res = run_dataflow(f, UnionLattice(), block_name_transfer)
+        # The self edge feeds the block's own fact back into its input.
+        assert res.before(loop.terminator) == frozenset({"entry", "loop"})
+        assert res.before(exit_.terminator) == frozenset({"entry", "loop"})
+
+    def test_self_loop_must_join_intersects_with_back_edge(self):
+        f = Function("selfloop_must")
+        entry = f.add_block("entry")
+        loop = f.add_block("loop")
+        exit_ = f.add_block("exit")
+        entry.append(Jump(loop))
+        loop.append(Branch(Constant(True), loop, exit_))
+        exit_.append(Ret())
+        res = run_dataflow(f, IntersectionLattice(),
+                           must_block_name_transfer)
+        # Only 'entry' is on *every* path into the loop header.
+        assert res.before(loop.terminator) == frozenset({"entry"})
+
+    def test_minimal_function_forward_and_backward(self):
+        f = Function("empty")
+        f.add_block("entry").append(Ret())
+        ret = f.entry.terminator
+        fwd = run_dataflow(f, UnionLattice(), block_name_transfer)
+        assert fwd.before(ret) == frozenset()
+        assert fwd.after(ret) == frozenset({"entry"})
+        bwd = run_dataflow(f, UnionLattice(), block_name_transfer,
+                           direction=BACKWARD)
+        # Program-order naming: 'after' faces the function exit.
+        assert bwd.after(ret) == frozenset()
+        assert bwd.before(ret) == frozenset({"entry"})
+
+    def test_minimal_function_must_analysis(self):
+        f = Function("empty_must")
+        f.add_block("entry").append(Ret())
+        res = run_dataflow(f, IntersectionLattice(),
+                           must_block_name_transfer)
+        assert res.before(f.entry.terminator) == frozenset()
 
 
 class TestEngineSafety:

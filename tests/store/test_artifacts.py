@@ -134,3 +134,79 @@ class TestMaintenance:
         assert len(store.entries()) == 2  # report only
         store.verify(delete=True)
         assert len(store.entries()) == 1
+
+
+class TestVulnKind:
+    """Per-function vulnerability summaries share the generic entry
+    machinery; pin the behaviors the analyzer relies on."""
+
+    def summarize(self, store, fingerprint, payload):
+        from repro.store import vuln_key
+        from repro.lint.vuln import VULN_SCHEMA
+        key = vuln_key(fingerprint, VULN_SCHEMA)
+        return key, store.get_vuln(key, lambda: payload)
+
+    def test_miss_then_hit(self, store):
+        key, first = self.summarize(store, "func f", {"function": "f"})
+        assert store.counters == {"store.vuln.miss": 1}
+        _, second = self.summarize(store, "func f", {"function": "DIFFERENT"})
+        assert store.counters["store.vuln.hit"] == 1
+        assert second == first  # compute() not called on a hit
+
+    def test_schema_bump_changes_key(self, store):
+        from repro.store import vuln_key
+        assert vuln_key("func f", 1) != vuln_key("func f", 2)
+
+    def test_corrupt_summary_falls_back_to_cold_analysis(self, store):
+        key, _ = self.summarize(store, "func f", {"function": "f"})
+        with open(os.path.join(store._entry_dir(key), "data.pkl"),
+                  "wb") as handle:
+            handle.write(b"not a pickle")
+        calls = []
+
+        def compute():
+            calls.append(1)
+            return {"function": "f", "fresh": True}
+
+        healed = store.get_vuln(key, compute)
+        assert calls == [1]
+        assert healed["fresh"] is True
+        assert store.counters["store.vuln.miss"] == 2
+        # healed in place: strict load works again
+        assert store.load(key, "vuln")["fresh"] is True
+
+    def test_kind_mismatch_rejected(self, store):
+        store.put("d" * 64, "golden", {"x": 1})
+        with pytest.raises(StoreCorruptError):
+            store.load("d" * 64, "vuln")
+
+    def test_gc_evicts_stale_vuln_entries_first(self, store):
+        keys = []
+        for i in range(3):
+            key, _ = self.summarize(store, "func f%d" % i, {"i": i})
+            keys.append(key)
+            time.sleep(0.02)
+        # Re-read the oldest summary: it becomes the freshest.
+        store.get_vuln(keys[0], lambda: pytest.fail("should hit"))
+        evicted = store.gc(max_entries=2)
+        assert [e.key for e in evicted] == [keys[1]]
+        kept = {e.key for e in store.entries()}
+        assert kept == {keys[0], keys[2]}
+
+    def test_verify_flags_corrupt_vuln_entry(self, store):
+        key, _ = self.summarize(store, "func f", {"function": "f"})
+        with open(os.path.join(store._entry_dir(key), "data.pkl"),
+                  "wb") as handle:
+            handle.write(b"junk")
+        problems = store.verify()
+        assert [p[0].key for p in problems] == [key]
+        store.verify(delete=True)
+        assert store.entries() == []
+
+    def test_mixed_kind_gc_is_lru_across_kinds(self, store):
+        store.put("e" * 64, "golden", {"x": 1}, name="g")
+        time.sleep(0.02)
+        key, _ = self.summarize(store, "func f", {"function": "f"})
+        evicted = store.gc(max_entries=1)
+        assert [e.key for e in evicted] == ["e" * 64]
+        assert [e.kind for e in store.entries()] == ["vuln"]
