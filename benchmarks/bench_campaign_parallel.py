@@ -4,14 +4,18 @@ A fixed fig8-style campaign — every kernel x 4 threads x 40 branch-flip
 injections (the ``REPRO_FAULTS=40`` point) — is executed twice: once with
 ``jobs=1`` (the plain serial loop) and once with one worker per
 available core.  The two coverage matrices must be identical (the
-engine's determinism contract) and on a >= 4-core machine the pool run
-must be >= 2.5x faster.  The measured speedup is written under
+engine's determinism contract) and the pool run must be >= 2.5x faster.
+
+The machine gate lives in one place: the ``multicore_jobs`` fixture in
+``conftest.py`` skips this bench *before any work happens* on boxes
+with fewer than ``MIN_SPEEDUP_CORES`` cores (or ``REPRO_JOBS`` set
+lower), the same way ``-m "not slow"`` deselects the long suite tests
+up front.  The measured speedup is written under
 ``benchmarks/results/``.
 
 Override the worker count with ``REPRO_JOBS`` (0 = all cores).
 """
 
-import os
 import time
 
 import pytest
@@ -19,7 +23,9 @@ import pytest
 from repro.experiments import fig8
 from repro.experiments.coverage import compute_coverage
 from repro.faults import FaultType
-from repro.parallel import available_cpus, resolve_jobs
+from repro.parallel import available_cpus
+
+pytestmark = pytest.mark.slow
 
 INJECTIONS = 40
 THREADS = (4,)
@@ -33,9 +39,8 @@ def _run_matrix(jobs):
     return result, time.perf_counter() - started
 
 
-def test_campaign_parallel_speedup(benchmark, save_result):
-    env_jobs = os.environ.get("REPRO_JOBS", "").strip()
-    jobs = resolve_jobs(int(env_jobs)) if env_jobs else available_cpus()
+def test_campaign_parallel_speedup(benchmark, save_result, multicore_jobs):
+    jobs = multicore_jobs
 
     serial, serial_seconds = _run_matrix(jobs=1)
     pooled, pooled_seconds = benchmark.pedantic(
@@ -59,11 +64,6 @@ def test_campaign_parallel_speedup(benchmark, save_result):
     save_result("campaign_parallel", "\n".join(lines))
     save_result("fig8_parallel_sample", fig8.render(pooled))
 
-    if jobs < 4 or available_cpus() < 4:
-        pytest.skip(
-            "speedup assertion needs >= 4 cores and jobs >= 4 "
-            "(have %d cores, jobs=%d); results recorded above"
-            % (available_cpus(), jobs))
     assert speedup >= 2.5, (
         "expected >= 2.5x on %d cores, measured %.2fx"
         % (available_cpus(), speedup))

@@ -25,6 +25,35 @@ import pytest
 
 RESULTS_DIR = os.path.join(os.path.dirname(__file__), "results")
 
+#: Cores (and worker processes) below which a parallel-speedup
+#: assertion is meaningless.  The single, shared gate for every bench
+#: that measures wall-clock scaling — see :func:`multicore_jobs`.
+MIN_SPEEDUP_CORES = 4
+
+
+@pytest.fixture
+def multicore_jobs() -> int:
+    """Worker count for speedup benches: ``$REPRO_JOBS`` or all cores.
+
+    Skips the requesting test *up front* — before any campaign work —
+    when fewer than :data:`MIN_SPEEDUP_CORES` cores (or jobs) are
+    available.  This matches the suite-wide ``slow``-marker convention:
+    a box that cannot demonstrate the speedup contract deselects the
+    bench instead of spending minutes computing matrices only to skip
+    the final assertion (the pre-PR-9 behavior).
+    """
+    from repro.parallel import available_cpus, resolve_jobs
+
+    env_jobs = os.environ.get("REPRO_JOBS", "").strip()
+    jobs = resolve_jobs(int(env_jobs)) if env_jobs else available_cpus()
+    if jobs < MIN_SPEEDUP_CORES or available_cpus() < MIN_SPEEDUP_CORES:
+        pytest.skip(
+            "parallel-speedup bench needs >= %d cores and jobs >= %d "
+            "(have %d cores, jobs=%d)"
+            % (MIN_SPEEDUP_CORES, MIN_SPEEDUP_CORES, available_cpus(),
+               jobs))
+    return jobs
+
 
 @pytest.fixture
 def save_result():

@@ -34,6 +34,7 @@ from repro.api import BlockWatch, protect
 from repro.faults import (
     CampaignConfig,
     CampaignResult,
+    CampaignSpec,
     CampaignStats,
     FaultType,
     Outcome,
@@ -50,7 +51,7 @@ __version__ = "1.1.0"
 __all__ = [
     "AnalysisConfig", "Category", "analyze_module",
     "BlockWatch", "protect",
-    "CampaignConfig", "CampaignResult", "CampaignStats",
+    "CampaignConfig", "CampaignResult", "CampaignSpec", "CampaignStats",
     "FaultType", "Outcome", "run_campaign",
     "compile_source",
     "InstrumentConfig", "instrument_module",

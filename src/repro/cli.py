@@ -30,7 +30,8 @@ from typing import Callable, List, Optional
 
 from repro.analysis import format_table
 from repro.api import BlockWatch
-from repro.faults import FaultType
+from repro.cliutil import add_shared_options
+from repro.faults import CampaignSpec, FaultType
 from repro.frontend import compile_source
 from repro.ir import print_module
 from repro.monitor import MODE_FULL
@@ -193,30 +194,44 @@ def cmd_trace(args) -> int:
     return 0 if result.status == "ok" and not result.detected else 1
 
 
+def campaign_spec_from_args(args) -> CampaignSpec:
+    """The one CLI → :class:`repro.CampaignSpec` translation, shared by
+    ``repro-minic inject`` and ``repro-serve submit`` so both surfaces
+    describe (and fingerprint) campaigns identically.  Kernel references
+    travel as ``kernel:NAME``; plain programs travel as source text."""
+    program_ref = (args.program if args.program.startswith(KERNEL_PREFIX)
+                   else _load_source(args.program))
+    try:
+        return CampaignSpec.build(
+            program_ref, entry=args.entry, fault=args.fault,
+            injections=args.injections, nthreads=args.threads,
+            seed=args.seed,
+            output_globals=tuple(n for n in args.outputs.split(",") if n),
+            quantize_bits=args.quantize, plan=args.plan,
+            opt_level=getattr(args, "opt_level", None),
+            backend=getattr(args, "backend", None),
+            telemetry=getattr(args, "trace", None) is not None,
+            scalars=_parse_assignments(args.set),
+            arrays=_parse_fills(args.fill),
+            journal=getattr(args, "journal", None),
+            resume=getattr(args, "resume", False))
+    except ValueError as exc:
+        raise SystemExit("error: %s" % exc)
+
+
 def cmd_inject(args) -> int:
     store = _open_store(args)
+    spec = campaign_spec_from_args(args)
     bw = _make_blockwatch(args, store=store)
-    setup = _make_run_setup(args)
-    fault = (FaultType.BRANCH_FLIP if args.fault == "flip"
-             else FaultType.BRANCH_CONDITION)
-    outputs = tuple(n for n in args.outputs.split(",") if n)
-    if not outputs and args.program.startswith(KERNEL_PREFIX):
-        outputs = tuple(_kernel_spec(args.program).output_globals)
     from repro.errors import StoreError
     try:
-        result = bw.inject(fault, nthreads=args.threads,
-                           injections=args.injections, setup=setup,
-                           output_globals=outputs, seed=args.seed,
-                           quantize_bits=args.quantize, jobs=args.jobs,
-                           telemetry=args.trace is not None,
-                           journal=args.journal, resume=args.resume,
-                           store=store, plan=args.plan)
+        result = bw.inject(spec=spec, jobs=args.jobs, store=store)
     except (StoreError, ValueError) as exc:
         raise SystemExit("error: %s" % exc)
     stats = result.stats
     print(format_table(
         stats.SUMMARY_HEADERS, [stats.summary_row()],
-        title="Campaign: %d x %s on %s" % (args.injections, fault.value,
+        title="Campaign: %d x %s on %s" % (args.injections, spec.fault,
                                            args.program)))
     if result.stratified is not None:
         estimate = result.stratified["estimate"]
@@ -258,14 +273,7 @@ def main(argv=None) -> int:
             p.add_argument("--fill", action="append", default=[],
                            metavar="ARRAY=V0,V1,...",
                            help="fill an array global before the run")
-            p.add_argument("-O", "--opt-level", type=int, default=None,
-                           choices=(0, 1, 2), dest="opt_level",
-                           help="trace-preserving optimization level "
-                                "(default: $REPRO_OPT_LEVEL or 0)")
-            p.add_argument("--backend", default=None,
-                           choices=("interpreter", "closure"),
-                           help="execution backend (default: $REPRO_BACKEND "
-                                "or interpreter)")
+            add_shared_options(p, "opt")
 
     p_dump = sub.add_parser("dump", help="print the SSA IR")
     common(p_dump, with_run_opts=False)
@@ -282,9 +290,7 @@ def main(argv=None) -> int:
                        metavar="GLOBAL", help="print a global after the run")
 
     def store_opt(p):
-        p.add_argument("--store", default=None, metavar="PATH",
-                       help="artifact-store root for cached compiles and "
-                            "golden runs (default: $REPRO_STORE, else off)")
+        add_shared_options(p, "store")
 
     p_run = sub.add_parser("run", help="execute the program")
     common(p_run)
@@ -314,20 +320,11 @@ def main(argv=None) -> int:
                                "comparison")
     p_inject.add_argument("--quantize", type=int, default=0,
                           help="low-order result bits ignored in comparison")
-    p_inject.add_argument("-j", "--jobs", type=int, default=None,
-                          help="worker processes for the campaign (0 = all "
-                               "cores; default: $REPRO_JOBS or serial)")
+    add_shared_options(p_inject, "jobs", "journal")
     p_inject.add_argument("--trace", default=None, metavar="OUT.JSONL",
                           help="collect campaign telemetry and write the "
                                "merged event trace")
     store_opt(p_inject)
-    p_inject.add_argument("--journal", default=None, metavar="OUT.JSONL",
-                          help="checkpoint completed injections to a "
-                               "crash-safe journal file")
-    p_inject.add_argument("--resume", action="store_true",
-                          help="resume an interrupted campaign from "
-                               "--journal (validates the plan hash; runs "
-                               "only the missing injections)")
     p_inject.add_argument("--plan", choices=("full", "stratified"),
                           default="full",
                           help="injection plan: 'full' samples dynamic "

@@ -118,6 +118,19 @@ class PlanMismatchError(StoreError):
     campaign (different program, seed, fault model, or config)."""
 
 
+class SpecError(ReproError, ValueError):
+    """A :class:`repro.faults.spec.CampaignSpec` could not be built or
+    deserialized: unknown fields, out-of-range values, or an unknown
+    kernel reference.  Derives from ``ValueError`` so pre-spec callers
+    that caught ``ValueError`` on bad campaign parameters keep working."""
+
+
+class ServeError(ReproError):
+    """Base class for campaign-fabric failures (:mod:`repro.serve`):
+    protocol violations, rejected submissions (full queue, tenant over
+    quota), and unknown-job lookups."""
+
+
 class DetectionRaised(ReproError):
     """The BLOCKWATCH monitor detected a similarity violation.
 

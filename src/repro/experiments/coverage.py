@@ -29,7 +29,7 @@ from dataclasses import dataclass, field
 from typing import Dict, List, Tuple
 
 from repro.analysis import format_table
-from repro.faults import CampaignConfig, CampaignStats, FaultType, run_campaign
+from repro.faults import CampaignSpec, CampaignStats, FaultType, run_campaign
 from repro.splash2 import PAPER_NAMES, all_kernels
 
 
@@ -70,14 +70,12 @@ def compute_coverage(fault_type: FaultType,
                             thread_counts=thread_counts,
                             injections=injections)
     for spec in all_kernels():
-        prog = spec.program()
         for nthreads in thread_counts:
-            config = CampaignConfig(
-                nthreads=nthreads, injections=injections, seed=seed,
-                output_globals=spec.output_globals,
-                quantize_bits=spec.sdc_quantize_bits)
-            campaign = run_campaign(prog, fault_type, config,
-                                    setup=spec.setup(nthreads), jobs=jobs)
+            campaign = run_campaign(
+                CampaignSpec.for_kernel(
+                    spec.name, fault=fault_type, injections=injections,
+                    nthreads=nthreads, seed=seed),
+                jobs=jobs)
             result.stats[(spec.name, nthreads)] = campaign.stats
     return result
 

@@ -79,26 +79,8 @@ def main(argv=None) -> int:
                     "32-core substrate.")
     parser.add_argument("experiments", nargs="+",
                         help="experiment names, 'list', or 'all'")
-    parser.add_argument("-j", "--jobs", type=int, default=None,
-                        help="worker processes for campaign-shaped "
-                             "experiments (0 = all cores; default: "
-                             "$REPRO_JOBS or serial); results are "
-                             "identical to serial runs")
-    parser.add_argument("--store", default=None, metavar="PATH",
-                        help="artifact-store root: cache kernel compiles "
-                             "and golden runs across figures and "
-                             "invocations (default: $REPRO_STORE, else "
-                             "off); results are identical either way")
-    parser.add_argument("-O", "--opt-level", type=int, default=None,
-                        choices=(0, 1, 2), dest="opt_level",
-                        help="trace-preserving optimization level for every "
-                             "experiment (default: $REPRO_OPT_LEVEL or 0); "
-                             "results are identical at every level")
-    parser.add_argument("--backend", default=None,
-                        choices=("interpreter", "closure"),
-                        help="execution backend (default: $REPRO_BACKEND or "
-                             "interpreter); results are identical, the "
-                             "closure backend is just faster")
+    from repro.cliutil import add_shared_options
+    add_shared_options(parser, "jobs", "store", "opt")
     args = parser.parse_args(argv)
     if args.jobs is not None:
         # The experiment thunks take no arguments; the jobs policy flows

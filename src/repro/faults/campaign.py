@@ -28,6 +28,7 @@ from typing import Callable, Dict, List, Optional, Sequence, Tuple
 from repro.faults.injector import InjectingHook, plan_fault
 from repro.faults.models import FaultSpec, FaultType
 from repro.faults.outcomes import CampaignStats, Outcome
+from repro.faults.spec import CampaignSpec, spec_of_config
 from repro.monitor import MODE_FULL
 from repro.parallel import derive_seed, run_tasks
 from repro.runtime.interpreter import RunResult
@@ -394,21 +395,38 @@ def plan_stratified(report, streams: Dict[int, List[int]],
     return specs, meta
 
 
-def run_campaign(program: ParallelProgram,
-                 fault_type: FaultType,
-                 config: CampaignConfig,
+def run_campaign(spec,
+                 fault_type: Optional[FaultType] = None,
+                 config: Optional[CampaignConfig] = None,
                  setup: Optional[Callable[[SharedMemory], None]] = None,
                  keep_records: bool = False,
                  jobs: Optional[int] = None,
                  progress: Optional[Callable[[int, int, float], None]] = None,
-                 telemetry: bool = False,
+                 telemetry: Optional[bool] = None,
                  journal: Optional[str] = None,
-                 resume: bool = False,
+                 resume: Optional[bool] = None,
                  store=None,
-                 plan: str = "full",
-                 vuln_report=None
+                 plan: Optional[str] = None,
+                 vuln_report=None,
+                 program: Optional[ParallelProgram] = None
                  ) -> CampaignResult:
     """Execute one full campaign and return a :class:`CampaignResult`.
+
+    The preferred call shape is ``run_campaign(spec, ...)`` with a
+    :class:`repro.faults.spec.CampaignSpec` — the same value object the
+    CLIs and the :mod:`repro.serve` wire protocol use, and the single
+    source of the journal plan hash.  The spec describes *what* the
+    campaign is; the remaining keywords are execution-side knobs
+    (``jobs``, ``progress``, ``keep_records``, ``store``, plus
+    ``telemetry``/``journal``/``resume``/``plan`` overrides that re-land
+    on the spec).  ``program=`` and ``setup=`` accept pre-compiled
+    programs and closure setups for in-process callers; when omitted
+    they are derived from the spec (kernel registry / inline source, and
+    the spec's serializable kernel-inputs + scalars/arrays setup).
+
+    The legacy ``run_campaign(program, fault_type, config, ...)`` triple
+    still works through a shim that builds the equivalent spec, and
+    emits a :class:`DeprecationWarning`.
 
     ``jobs`` fans the independent injections out across a process pool
     (``None`` reads ``REPRO_JOBS``; ``1`` runs today's serial loop; ``0``
@@ -453,24 +471,85 @@ def run_campaign(program: ParallelProgram,
     ``telemetry``, ``journal``, and ``resume`` (the journal format
     checkpoints index-planned sweeps).
     """
-    if plan not in ("full", "stratified"):
-        raise ValueError("unknown campaign plan %r (expected 'full' or "
-                         "'stratified')" % (plan,))
-    if plan == "stratified" and (journal is not None or resume):
+    if isinstance(spec, CampaignSpec):
+        if fault_type is not None or config is not None:
+            raise TypeError(
+                "run_campaign(spec, ...) takes no fault_type/config: the "
+                "spec already carries the fault model and campaign knobs")
+        spec_driven = True
+    else:
+        if fault_type is None or config is None:
+            raise TypeError(
+                "run_campaign() takes a CampaignSpec, or the deprecated "
+                "(program, fault_type, config) triple")
+        warnings.warn(
+            "run_campaign(program, fault_type, config, ...) is deprecated; "
+            "build a repro.CampaignSpec and call run_campaign(spec, ...)",
+            DeprecationWarning, stacklevel=2)
+        if program is None:
+            program = spec
+        spec = spec_of_config(program, fault_type, config)
+        spec_driven = False
+    overrides = {}
+    if telemetry is not None:
+        overrides["telemetry"] = bool(telemetry)
+    if journal is not None:
+        overrides["journal"] = journal
+    if resume is not None:
+        overrides["resume"] = bool(resume)
+    if plan is not None:
+        overrides["plan"] = plan
+    if overrides:
+        spec = spec.replace(**overrides)
+    return _execute_campaign(spec, program=program, setup=setup,
+                             spec_driven=spec_driven,
+                             keep_records=keep_records, jobs=jobs,
+                             progress=progress, store=store,
+                             vuln_report=vuln_report)
+
+
+def _execute_campaign(spec: CampaignSpec, program: Optional[ParallelProgram],
+                      setup, spec_driven: bool, keep_records: bool,
+                      jobs: Optional[int], progress, store, vuln_report
+                      ) -> CampaignResult:
+    """The one spec-driven execution path behind :func:`run_campaign`.
+
+    Every entry point — Python API, legacy shim, CLIs, and the serve
+    scheduler — lands here with a validated :class:`CampaignSpec`, so
+    the executed plan (and its journal fingerprint) has exactly one
+    source of truth.  ``program``/``setup`` are optional pre-resolved
+    overrides; ``spec_driven`` records whether the caller spoke spec
+    natively (legacy callers keep their exact pre-spec setup semantics,
+    including "no setup at all").
+    """
+    if spec.plan == "stratified" and (spec.journal is not None or spec.resume):
         raise ValueError("stratified campaigns do not support journal/"
                          "resume; checkpoint the full sweep instead")
-    if plan == "stratified" and telemetry:
+    if spec.plan == "stratified" and spec.telemetry:
         raise ValueError("stratified campaigns do not support telemetry")
+
+    if store is None and spec.store is not None:
+        from repro.store.artifacts import ArtifactStore
+        store = ArtifactStore(spec.store)
+    if store is None:
+        from repro.store.runtime import default_store
+        store = default_store()
+    if program is None:
+        program = spec.resolve_program(store)
+    if setup is None and spec_driven:
+        setup = spec.default_setup()
+    fault_type = spec.fault_type
+    config = spec.campaign_config()
+    telemetry = spec.telemetry
+    journal = spec.journal
+    resume = spec.resume
+
     parent_tel = None
     if telemetry:
         parent_tel = Telemetry(context={"inj": -1, "seed": config.seed})
         parent_tel.event("campaign_start", fault=fault_type.value,
                          injections=config.injections,
                          nthreads=config.nthreads, program=program.name)
-
-    if store is None:
-        from repro.store.runtime import default_store
-        store = default_store()
 
     # -- golden run (cached only when no events are being collected) ----
     golden: Optional[RunResult] = None
@@ -491,7 +570,7 @@ def run_campaign(program: ParallelProgram,
     max_steps = max(summary.steps * config.hang_factor,
                     summary.steps + 100_000)
 
-    if plan == "stratified":
+    if spec.plan == "stratified":
         return _run_stratified(
             program, fault_type, config, setup, keep_records, jobs,
             progress, store, vuln_report, golden, golden_signature,
@@ -503,11 +582,15 @@ def run_campaign(program: ParallelProgram,
     writer = None
     if journal is not None:
         from repro.errors import PlanMismatchError, StoreError
-        from repro.store.hashing import (golden_fingerprint,
-                                         plan_fingerprint, program_key_of)
+        from repro.store.hashing import golden_fingerprint
         from repro.store.journal import JournalWriter, read_journal
-        plan_hash, plan = plan_fingerprint(
-            program_key_of(program), fault_type, config, telemetry=telemetry)
+        # The spec is the single source of the plan hash: the same
+        # fingerprint a client computes before submitting over the wire,
+        # and the same one any CLI prints.  (Golden *caching* above still
+        # keys on the compiled program so custom-configured programs
+        # never share cache entries; divergence from the spec-described
+        # program is caught by the golden fingerprint right here.)
+        plan_hash, plan_dict = spec.plan_fingerprint()
         golden_fp = golden_fingerprint(summary.signature, branch_counts,
                                        summary.steps)
         exists = os.path.exists(journal) and os.path.getsize(journal) > 0
@@ -517,7 +600,7 @@ def run_campaign(program: ParallelProgram,
                 "to continue it, or delete it to start over" % journal)
         if exists:
             replay = read_journal(journal, expect_plan_hash=plan_hash,
-                                  expect_plan=plan)
+                                  expect_plan=plan_dict)
             if replay.golden_fingerprint != golden_fp:
                 raise PlanMismatchError(
                     "journal %s was written against a different golden "
@@ -534,7 +617,7 @@ def run_campaign(program: ParallelProgram,
                     parent_tel.count("store.journal.partial_tail_dropped")
         else:
             writer = JournalWriter(journal)
-            writer.write_header(plan_hash, plan, golden_fp)
+            writer.write_header(plan_hash, plan_dict, golden_fp)
 
     stats = CampaignStats(program=program.name, fault_type=fault_type.value,
                           nthreads=config.nthreads)

@@ -17,10 +17,11 @@ from __future__ import annotations
 
 from typing import Optional
 
-from repro.faults.campaign import CampaignConfig, run_campaign
+from repro.faults.campaign import CampaignConfig, _execute_campaign
 from repro.faults.models import FaultType
 from repro.faults.outcomes import Outcome
 from repro.faults.recording import record_site_streams
+from repro.faults.spec import spec_of_config
 
 #: Schema of the validation payload (bump on shape changes).
 VALIDATION_SCHEMA = 1
@@ -58,8 +59,10 @@ def validate_predictions(program, fault_type: FaultType,
                                   report=report)
     model = fault_type.value
 
-    full = run_campaign(program, fault_type, config, setup=setup,
-                        keep_records=True, jobs=jobs, store=store)
+    full = _execute_campaign(
+        spec_of_config(program, fault_type, config), program=program,
+        setup=setup, spec_driven=False, keep_records=True, jobs=jobs,
+        progress=None, store=store, vuln_report=None)
 
     classes: dict = {}
     detected_total = 0
@@ -104,9 +107,12 @@ def validate_predictions(program, fault_type: FaultType,
         output_globals=config.output_globals,
         quantize_bits=config.quantize_bits,
         hang_factor=config.hang_factor, quantum=config.quantum)
-    strat = run_campaign(program, fault_type, strat_config, setup=setup,
-                         jobs=jobs, store=store, plan="stratified",
-                         vuln_report=report)
+    strat = _execute_campaign(
+        spec_of_config(program, fault_type, strat_config,
+                       plan="stratified"),
+        program=program, setup=setup, spec_driven=False,
+        keep_records=False, jobs=jobs, progress=None, store=store,
+        vuln_report=report)
     estimate = strat.stratified["estimate"]["coverage_protected"]
     measured = full.stats.coverage_protected
 

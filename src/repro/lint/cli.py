@@ -32,6 +32,7 @@ import os
 import sys
 from typing import Dict, List, Optional, Tuple
 
+from repro.cliutil import add_shared_options
 from repro.lint.diagnostics import (
     LINT_SCHEMA,
     SEVERITY_ERROR,
@@ -209,14 +210,9 @@ def lint_main(argv: List[str]) -> int:
     parser.add_argument("--update-baseline", action="store_true",
                         help="regenerate the baseline file atomically "
                              "(default target: %s)" % DEFAULT_LINT_BASELINE)
-    parser.add_argument("--jobs", type=int, default=None, metavar="N",
-                        help="lint programs across N worker processes "
-                             "(0 = all cores; output is byte-identical "
-                             "to a serial run)")
     parser.add_argument("-o", "--output", metavar="FILE",
                         help="write the report here instead of stdout")
-    parser.add_argument("--store", metavar="PATH",
-                        help="artifact store root for cached lint reports")
+    add_shared_options(parser, "jobs", "store")
     args = parser.parse_args(argv)
 
     try:
@@ -412,19 +408,14 @@ def vuln_main(argv: List[str]) -> int:
                         help="regenerate the prediction baseline "
                              "atomically (default target: %s)"
                              % DEFAULT_VULN_BASELINE)
-    parser.add_argument("--jobs", type=int, default=None, metavar="N",
-                        help="analyze programs across N worker processes "
-                             "(0 = all cores); with --validate, "
-                             "parallelizes the campaigns instead")
+    add_shared_options(parser, "jobs")
     parser.add_argument("--sparse-checks", action="store_true",
                         help="analyze under the sparse-check profile "
                              "(elide redundant checks, no none->partial "
                              "promotion) so unchecked branches exist")
     parser.add_argument("-o", "--output", metavar="FILE",
                         help="write the report here instead of stdout")
-    parser.add_argument("--store", metavar="PATH",
-                        help="artifact store root for cached per-function "
-                             "summaries (and goldens under --validate)")
+    add_shared_options(parser, "store")
     parser.add_argument("--validate", action="store_true",
                         help="run fault-injection campaigns and join "
                              "measured outcomes against the predictions")

@@ -1,0 +1,243 @@
+"""``repro-serve``: run and talk to a campaign-fabric server.
+
+    repro-serve serve --store /tmp/store --port 7212
+    repro-serve submit kernel:radix --fault flip -n 100 -j 4 --wait
+    repro-serve status [JOB]
+    repro-serve jobs
+    repro-serve fetch JOB
+    repro-serve drain
+
+``submit`` accepts exactly the campaign arguments ``repro-minic
+inject`` does — both translate through the same
+:func:`repro.cli.campaign_spec_from_args` into one canonical
+:class:`repro.CampaignSpec`, so a spec printed by one tool is
+submittable by the other and hashes identically on both ends.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+
+from repro.cliutil import add_shared_options
+from repro.errors import ServeError
+from repro.serve.protocol import DEFAULT_PORT
+
+
+def _endpoint_options(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument("--host", default="127.0.0.1",
+                        help="server address (default: 127.0.0.1)")
+    parser.add_argument("--port", type=int, default=DEFAULT_PORT,
+                        help="server port (default: %d)" % DEFAULT_PORT)
+
+
+def cmd_serve(args) -> int:
+    from repro.serve.scheduler import ServeConfig
+    from repro.serve.server import run_server
+    from repro.store import open_store
+
+    store = open_store(args.store)
+    if store is None:
+        raise SystemExit("error: serve needs a store root "
+                         "(--store or $REPRO_STORE)")
+    config = ServeConfig(store_root=store.root,
+                         queue_size=args.queue_size,
+                         max_running=args.max_running,
+                         shards=args.jobs,
+                         quota_bytes=args.quota_bytes)
+    return run_server(config, host=args.host, port=args.port)
+
+
+def cmd_submit(args) -> int:
+    from repro.cli import campaign_spec_from_args
+    from repro.serve.client import ServeClient
+
+    spec = campaign_spec_from_args(args)
+    if args.telemetry:
+        spec = spec.replace(telemetry=True)
+    client = ServeClient(host=args.host, port=args.port)
+    try:
+        job_id = client.submit(spec, tenant=args.tenant, shards=args.jobs)
+    except (ServeError, OSError) as exc:
+        raise SystemExit("error: %s" % exc)
+    print("submitted %s (plan %s...)" % (job_id, spec.plan_hash[:12]))
+    if not args.wait:
+        return 0
+    job = client.wait(job_id)
+    print("job %s: %s" % (job_id, job["state"]))
+    if job["state"] != "done":
+        if job.get("error"):
+            print("error: %s" % job["error"], file=sys.stderr)
+        return 1
+    result = client.fetch(job_id)
+    print(_render_stats(result.stats))
+    return 0
+
+
+def _render_stats(stats) -> str:
+    lines = ["  %-14s %d" % (outcome.value, count)
+             for outcome, count in sorted(stats.counts.items(),
+                                          key=lambda kv: kv[0].value)]
+    return "\n".join(["outcomes:"] + lines)
+
+
+def cmd_status(args) -> int:
+    from repro.serve.client import ServeClient
+
+    client = ServeClient(host=args.host, port=args.port)
+    try:
+        print(json.dumps(client.status(args.job_id), indent=2,
+                         sort_keys=True))
+    except (ServeError, OSError) as exc:
+        raise SystemExit("error: %s" % exc)
+    return 0
+
+
+def cmd_jobs(args) -> int:
+    from repro.serve.client import ServeClient
+
+    client = ServeClient(host=args.host, port=args.port)
+    try:
+        jobs = client.jobs()
+    except (ServeError, OSError) as exc:
+        raise SystemExit("error: %s" % exc)
+    if not jobs:
+        print("no jobs")
+        return 0
+    for job in jobs:
+        print("%-40s %-12s %5d/%-5d %s"
+              % (job["job_id"], job["state"], job["done"], job["total"],
+                 job.get("error") or ""))
+    return 0
+
+
+def cmd_fetch(args) -> int:
+    from repro.serve.client import ServeClient
+
+    client = ServeClient(host=args.host, port=args.port)
+    try:
+        payload = client.fetch_raw(args.job_id)
+    except (ServeError, OSError) as exc:
+        raise SystemExit("error: %s" % exc)
+    text = json.dumps(payload, indent=2, sort_keys=True)
+    if args.out and args.out != "-":
+        with open(args.out, "w", encoding="utf-8") as handle:
+            handle.write(text + "\n")
+        print("wrote %s" % args.out)
+    else:
+        print(text)
+    return 0
+
+
+def cmd_drain(args) -> int:
+    from repro.serve.client import ServeClient
+
+    client = ServeClient(host=args.host, port=args.port)
+    try:
+        client.drain()
+    except (ServeError, OSError) as exc:
+        raise SystemExit("error: %s" % exc)
+    print("draining; unfinished jobs resume when the server restarts")
+    return 0
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="repro-serve",
+        description="Serve and submit BLOCKWATCH fault-injection "
+                    "campaigns over TCP (newline-delimited JSON).")
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    p_serve = sub.add_parser("serve", help="run a campaign server")
+    _endpoint_options(p_serve)
+    add_shared_options(p_serve, "jobs", "store",
+                       jobs_help="default worker processes per campaign "
+                                 "(clients may request their own)")
+    p_serve.add_argument("--queue-size", type=int, default=8,
+                         metavar="N",
+                         help="bounded admission queue; a full queue "
+                              "rejects submits (default: 8)")
+    p_serve.add_argument("--max-running", type=int, default=1,
+                         metavar="N",
+                         help="concurrent campaigns (default: 1; each "
+                              "already fans across processes)")
+    p_serve.add_argument("--quota-bytes", type=int, default=None,
+                         metavar="BYTES",
+                         help="per-tenant store budget for finished "
+                              "jobs; LRU results+journals are evicted "
+                              "past it (default: unlimited)")
+    p_serve.set_defaults(func=cmd_serve)
+
+    p_submit = sub.add_parser(
+        "submit", help="submit a campaign (same arguments as "
+                       "repro-minic inject)")
+    _endpoint_options(p_submit)
+    p_submit.add_argument("program",
+                          help="MiniC source file or kernel:NAME")
+    p_submit.add_argument("--entry", default="slave",
+                          help="SPMD worker function (default: slave)")
+    p_submit.add_argument("-t", "--threads", type=int, default=4)
+    p_submit.add_argument("--seed", type=int, default=0)
+    p_submit.add_argument("--set", action="append", default=[],
+                          metavar="NAME=VALUE",
+                          help="set a scalar global before the run")
+    p_submit.add_argument("--fill", action="append", default=[],
+                          metavar="ARRAY=V0,V1,...",
+                          help="fill an array global before the run")
+    p_submit.add_argument("-n", "--injections", type=int, default=100)
+    p_submit.add_argument("--fault", choices=("flip", "condition"),
+                          default="flip")
+    p_submit.add_argument("--outputs", default="",
+                          help="comma-separated result globals for SDC "
+                               "comparison")
+    p_submit.add_argument("--quantize", type=int, default=0,
+                          help="low-order result bits ignored in "
+                               "comparison")
+    p_submit.add_argument("--plan", choices=("full", "stratified"),
+                          default="full",
+                          help="injection plan (see repro-minic inject)")
+    p_submit.add_argument("--telemetry", action="store_true",
+                          help="collect and merge campaign telemetry "
+                               "into the stored result")
+    add_shared_options(p_submit, "jobs", "opt",
+                       jobs_help="worker processes the server should "
+                                 "shard this campaign across")
+    p_submit.add_argument("--tenant", default="default",
+                          help="quota accounting bucket")
+    p_submit.add_argument("--wait", action="store_true",
+                          help="block until the job finishes and print "
+                               "its outcome census")
+    p_submit.set_defaults(func=cmd_submit)
+
+    p_status = sub.add_parser("status",
+                              help="one job's state, or the server's")
+    _endpoint_options(p_status)
+    p_status.add_argument("job_id", nargs="?", default=None)
+    p_status.set_defaults(func=cmd_status)
+
+    p_jobs = sub.add_parser("jobs", help="list all jobs")
+    _endpoint_options(p_jobs)
+    p_jobs.set_defaults(func=cmd_jobs)
+
+    p_fetch = sub.add_parser("fetch", help="download a finished "
+                                           "result as JSON")
+    _endpoint_options(p_fetch)
+    p_fetch.add_argument("job_id")
+    p_fetch.add_argument("-o", "--out", default="-",
+                         metavar="FILE", help="destination "
+                         "(default: stdout)")
+    p_fetch.set_defaults(func=cmd_fetch)
+
+    p_drain = sub.add_parser(
+        "drain", help="gracefully stop the server (jobs checkpoint and "
+                      "resume on restart)")
+    _endpoint_options(p_drain)
+    p_drain.set_defaults(func=cmd_drain)
+
+    args = parser.parse_args(argv)
+    return args.func(args)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,100 @@
+"""Wire protocol for the campaign fabric: newline-delimited JSON.
+
+One TCP connection carries one request line and its response line(s);
+both directions are UTF-8 JSON objects terminated by ``\\n``.  The
+request names an ``op``; the response is either ``{"ok": true, ...}``
+or ``{"ok": false, "error": "..."}``.  The only multi-line response is
+``watch``, which streams ``{"event": ...}`` objects until the watched
+job reaches a terminal state.
+
+Requests carry ``v`` (the protocol version) and the server rejects
+mismatches up front, so a stale client fails with a clear message
+instead of a confusing downstream error.  ``submit`` additionally
+carries the client-computed ``spec_hash`` — the server re-derives the
+plan hash from the decoded :class:`repro.CampaignSpec` and refuses the
+job when they differ, which catches wire corruption and version skew
+in the spec schema before any cycles are spent.
+"""
+
+from __future__ import annotations
+
+import json
+
+from repro.errors import ServeError
+
+#: Bump when a request or response shape changes incompatibly.
+PROTOCOL_VERSION = 1
+
+#: Upper bound on one NDJSON line (requests carry whole program
+#: sources; responses carry whole campaign results with records).
+MAX_LINE = 32 * 1024 * 1024
+
+#: Default TCP port (tests pass port 0 and read the bound port back).
+DEFAULT_PORT = 7212
+
+#: Request operations the server understands.
+OPS = ("ping", "submit", "status", "jobs", "fetch", "watch", "golden",
+       "telemetry", "drain")
+
+# -- job lifecycle --------------------------------------------------------
+#: Waiting in the bounded queue (or persisted, awaiting restart pickup).
+QUEUED = "queued"
+#: A worker slot is executing (or resuming) the campaign right now.
+RUNNING = "running"
+#: Finished; the result is in the store under ``result_key``.
+DONE = "done"
+#: The campaign raised; ``error`` holds the message.
+FAILED = "failed"
+#: Stopped at a checkpoint by a drain; resumes on the next server start.
+INTERRUPTED = "interrupted"
+#: Result and journal were reclaimed by the tenant quota.
+EVICTED = "evicted"
+
+#: States a job never leaves on its own.
+TERMINAL_STATES = (DONE, FAILED, EVICTED)
+#: States the startup rescan re-enqueues (RUNNING means the previous
+#: server died mid-campaign; the journal makes the re-run bit-identical).
+RESUMABLE_STATES = (QUEUED, RUNNING, INTERRUPTED)
+
+
+def encode(message: dict) -> bytes:
+    """One protocol message as an NDJSON line (deterministic key order)."""
+    return (json.dumps(message, sort_keys=True,
+                       separators=(",", ":")) + "\n").encode("utf-8")
+
+
+def decode(line: bytes) -> dict:
+    """Parse one NDJSON line; :class:`ServeError` on anything malformed."""
+    if len(line) > MAX_LINE:
+        raise ServeError("protocol line exceeds %d bytes" % MAX_LINE)
+    try:
+        message = json.loads(line.decode("utf-8"))
+    except (UnicodeDecodeError, ValueError) as exc:
+        raise ServeError("malformed protocol line: %s" % exc)
+    if not isinstance(message, dict):
+        raise ServeError("protocol message must be a JSON object, got %s"
+                         % type(message).__name__)
+    return message
+
+
+def ok(**fields) -> dict:
+    response = {"ok": True}
+    response.update(fields)
+    return response
+
+
+def error(message: str) -> dict:
+    return {"ok": False, "error": str(message)}
+
+
+def check_request(message: dict) -> str:
+    """Validate the envelope of a decoded request; returns the op."""
+    op = message.get("op")
+    if op not in OPS:
+        raise ServeError("unknown op %r (expected one of %s)"
+                         % (op, ", ".join(OPS)))
+    version = message.get("v", PROTOCOL_VERSION)
+    if version != PROTOCOL_VERSION:
+        raise ServeError("protocol version %r not supported (server "
+                         "speaks %d)" % (version, PROTOCOL_VERSION))
+    return op

@@ -45,14 +45,20 @@ from repro.store.journal import JournalReplay, JournalWriter, read_journal
 from repro.store.runtime import default_store, open_store, set_default_store
 from repro.store.serialize import (
     RECORD_SCHEMA,
+    RESULT_SCHEMA,
     record_from_dict,
     record_to_dict,
+    result_from_dict,
+    result_to_dict,
     spec_from_dict,
     spec_to_dict,
+    stats_from_dict,
+    stats_to_dict,
 )
 
 __all__ = [
-    "ARTIFACT_SCHEMA", "JOURNAL_SCHEMA", "RECORD_SCHEMA", "STORE_ENV",
+    "ARTIFACT_SCHEMA", "JOURNAL_SCHEMA", "RECORD_SCHEMA", "RESULT_SCHEMA",
+    "STORE_ENV",
     "ArtifactStore", "GoldenSummary", "StoreEntry",
     "JournalReplay", "JournalWriter", "read_journal",
     "PlanMismatchError", "StoreCorruptError", "StoreError",
@@ -60,5 +66,7 @@ __all__ = [
     "default_store", "open_store", "set_default_store",
     "golden_fingerprint", "golden_key", "lint_key", "plan_fingerprint",
     "program_key", "program_key_of", "vuln_key",
-    "record_from_dict", "record_to_dict", "spec_from_dict", "spec_to_dict",
+    "record_from_dict", "record_to_dict", "result_from_dict",
+    "result_to_dict", "spec_from_dict", "spec_to_dict",
+    "stats_from_dict", "stats_to_dict",
 ]

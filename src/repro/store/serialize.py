@@ -21,11 +21,15 @@ from typing import Optional, Tuple
 
 from repro.errors import StoreCorruptError
 from repro.faults.models import FaultSpec, FaultType
-from repro.faults.outcomes import Outcome
+from repro.faults.outcomes import CampaignStats, Outcome
 from repro.telemetry import TelemetrySnapshot
 
 #: Version of one serialized InjectionRecord.
 RECORD_SCHEMA = 1
+
+#: Version of one serialized CampaignResult (the :mod:`repro.serve`
+#: fetch payload and the store's ``result`` artifact kind).
+RESULT_SCHEMA = 1
 
 
 def spec_to_dict(spec: FaultSpec) -> dict:
@@ -87,3 +91,86 @@ def record_from_dict(data: dict) -> Tuple[int, "InjectionRecord"]:
     except (KeyError, ValueError, TypeError) as exc:
         raise StoreCorruptError("malformed injection record: %s" % exc) from None
     return index, record
+
+
+def _counts_to_dict(counts) -> dict:
+    return {outcome.value: count
+            for outcome, count in sorted(counts.items(),
+                                         key=lambda kv: kv[0].value)}
+
+
+def _counts_from_dict(data: dict) -> dict:
+    return {Outcome(value): int(count)
+            for value, count in data.items()}
+
+
+def stats_to_dict(stats: CampaignStats) -> dict:
+    return {
+        "program": stats.program,
+        "fault_type": stats.fault_type,
+        "nthreads": stats.nthreads,
+        "injections": stats.injections,
+        "counts": _counts_to_dict(stats.counts),
+        "baseline_counts": _counts_to_dict(stats.baseline_counts),
+    }
+
+
+def stats_from_dict(data: dict) -> CampaignStats:
+    try:
+        return CampaignStats(
+            program=data["program"],
+            fault_type=data["fault_type"],
+            nthreads=int(data["nthreads"]),
+            injections=int(data["injections"]),
+            counts=_counts_from_dict(data["counts"]),
+            baseline_counts=_counts_from_dict(data["baseline_counts"]))
+    except (KeyError, ValueError, TypeError) as exc:
+        raise StoreCorruptError("malformed campaign stats: %s"
+                                % exc) from None
+
+
+def result_to_dict(result) -> dict:
+    """One finished :class:`repro.faults.CampaignResult` as plain JSON —
+    the payload :mod:`repro.serve` stores and ships to clients.  The
+    golden :class:`RunResult` is deliberately not included (it is an
+    execution artifact, not a result; its fingerprint lives in the
+    journal), so a round-tripped result compares against a serial run on
+    stats, records, stratified summary, and telemetry."""
+    return {
+        "kind": "campaign-result",
+        "schema": RESULT_SCHEMA,
+        "stats": stats_to_dict(result.stats),
+        "records": [record_to_dict(index, record)
+                    for index, record in enumerate(result.records)],
+        "stratified": result.stratified,
+        "telemetry": (None if result.telemetry is None
+                      else result.telemetry.to_dict()),
+    }
+
+
+def result_from_dict(data: dict):
+    """Inverse of :func:`result_to_dict`; raises
+    :class:`repro.errors.StoreCorruptError` on malformed payloads."""
+    from repro.faults.campaign import CampaignResult
+    if data.get("schema") != RESULT_SCHEMA:
+        raise StoreCorruptError(
+            "campaign result uses schema %r; this build reads schema %d"
+            % (data.get("schema"), RESULT_SCHEMA))
+    try:
+        records = [None] * len(data["records"])
+        for payload in data["records"]:
+            index, record = record_from_dict(payload)
+            records[index] = record
+        telemetry = None
+        if data.get("telemetry") is not None:
+            telemetry = TelemetrySnapshot.from_dict(data["telemetry"])
+        return CampaignResult(
+            stats=stats_from_dict(data["stats"]),
+            records=records,
+            telemetry=telemetry,
+            stratified=data.get("stratified"))
+    except StoreCorruptError:
+        raise
+    except (KeyError, ValueError, TypeError, IndexError) as exc:
+        raise StoreCorruptError("malformed campaign result: %s"
+                                % exc) from None

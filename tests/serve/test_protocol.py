@@ -1,0 +1,48 @@
+"""Wire-protocol framing and envelope validation."""
+
+import pytest
+
+from repro.errors import ServeError
+from repro.serve import protocol
+
+
+class TestFraming:
+    def test_encode_decode_round_trip(self):
+        message = {"op": "ping", "v": 1, "nested": {"a": [1, 2]}}
+        line = protocol.encode(message)
+        assert line.endswith(b"\n")
+        assert protocol.decode(line) == message
+
+    def test_encode_is_deterministic(self):
+        a = protocol.encode({"b": 1, "a": 2})
+        b = protocol.encode({"a": 2, "b": 1})
+        assert a == b
+
+    def test_decode_rejects_garbage(self):
+        with pytest.raises(ServeError):
+            protocol.decode(b"not json\n")
+
+    def test_decode_rejects_non_object(self):
+        with pytest.raises(ServeError):
+            protocol.decode(b"[1,2,3]\n")
+
+    def test_decode_rejects_oversized_line(self):
+        with pytest.raises(ServeError):
+            protocol.decode(b"x" * (protocol.MAX_LINE + 1))
+
+
+class TestEnvelope:
+    def test_known_op_passes(self):
+        assert protocol.check_request({"op": "ping"}) == "ping"
+
+    def test_unknown_op_rejected(self):
+        with pytest.raises(ServeError, match="unknown op"):
+            protocol.check_request({"op": "launch_missiles"})
+
+    def test_version_mismatch_rejected(self):
+        with pytest.raises(ServeError, match="version"):
+            protocol.check_request({"op": "ping", "v": 999})
+
+    def test_responses(self):
+        assert protocol.ok(x=1) == {"ok": True, "x": 1}
+        assert protocol.error("nope") == {"ok": False, "error": "nope"}
