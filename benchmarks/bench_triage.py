@@ -1,0 +1,139 @@
+"""Triage throughput: witnesses clustered per second on a 2000-record
+synthetic campaign.
+
+The campaign is synthesized, not simulated — the bench measures the
+*triage* pipeline (canonicalization, hashing, banded edit-distance
+merging, perf vectors), not the injection engine that produces its
+input.  Records are drawn deterministically from a realistic site/
+outcome distribution (a dozen branch sites, detection-heavy, a tail of
+crashes and SDCs), each with a small per-injection telemetry snapshot,
+so the canonical forms exercise every token source.
+
+Results land in ``benchmarks/results/BENCH_triage.json``: witnesses/s,
+wall seconds, input/output sizes, and the dedup ratio.  The floor is
+deliberately modest (>= 2000 witnesses/s) — clustering 2k witnesses
+must stay interactive.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import random
+import time
+
+from repro.faults.campaign import CampaignResult, InjectionRecord
+from repro.faults.models import FaultSpec, FaultType
+from repro.faults.outcomes import CampaignStats, Outcome
+from repro.telemetry import TelemetrySnapshot
+from repro.triage import build_report
+
+RESULTS_DIR = os.path.join(os.path.dirname(__file__), "results")
+
+RECORDS = 2000
+NTHREADS = 8
+SEED = 20120712
+WITNESSES_PER_SECOND_FLOOR = 2000.0
+
+SITES = ["flipped decision of br -> loop.body.%d, loop.exit.%d !bw" % (k, k)
+         for k in range(8)] + [
+    "flipped decision of br -> if.then.%d, if.end.%d" % (k, k)
+    for k in range(4)]
+
+OUTCOMES = ((Outcome.DETECTED, 0.55), (Outcome.MASKED, 0.25),
+            (Outcome.SDC, 0.08), (Outcome.CRASH, 0.07),
+            (Outcome.NOT_ACTIVATED, 0.05))
+
+
+def _draw_outcome(rng):
+    roll, acc = rng.random(), 0.0
+    for outcome, weight in OUTCOMES:
+        acc += weight
+        if roll < acc:
+            return outcome
+    return OUTCOMES[-1][0]
+
+
+def synthetic_campaign(records=RECORDS, nthreads=NTHREADS, seed=SEED):
+    rng = random.Random(seed)
+    counts = {}
+    baseline_counts = {}
+    injections = []
+    for index in range(records):
+        outcome = _draw_outcome(rng)
+        counts[outcome] = counts.get(outcome, 0) + 1
+        baseline_counts[Outcome.MASKED] = (
+            baseline_counts.get(Outcome.MASKED, 0) + 1)
+        site = rng.choice(SITES)
+        tid = rng.randrange(nthreads)
+        snapshot = TelemetrySnapshot(
+            counters=({"monitor.violation.shared": 1}
+                      if outcome is Outcome.DETECTED else {}),
+            events=[{"kind": "run_end", "seq": 1, "inj": index,
+                     "status": outcome.value, "steps": 900 + rng.randrange(3),
+                     "violations": 1},
+                    {"kind": "thread_metrics", "seq": 2, "inj": index,
+                     "tid": tid, "cycles": 5000 + rng.randrange(40),
+                     "steps": 900, "branches": 60,
+                     "sync_wait": 100 + rng.randrange(8),
+                     "queue_stall": 12}])
+        injections.append(InjectionRecord(
+            spec=FaultSpec(fault_type=FaultType.BRANCH_FLIP, thread_id=tid,
+                           branch_index=rng.randrange(200),
+                           rng_seed=index),
+            outcome=outcome,
+            baseline_outcome=Outcome.MASKED,
+            flipped_branch=outcome is not Outcome.NOT_ACTIVATED,
+            detail=site if outcome is not Outcome.NOT_ACTIVATED else "",
+            telemetry=snapshot))
+    stats = CampaignStats(program="synthetic", fault_type="branch-flip",
+                          nthreads=nthreads, injections=records,
+                          counts=counts, baseline_counts=baseline_counts)
+    merged = TelemetrySnapshot.merge_all(
+        record.telemetry for record in injections)
+    return CampaignResult(stats=stats, records=injections, telemetry=merged)
+
+
+def test_triage_throughput(benchmark, save_result):
+    result = synthetic_campaign()
+    classes = [sorted(range(k, NTHREADS, 2)) for k in (0, 1)]
+
+    def measure():
+        started = time.perf_counter()
+        report = build_report(result, classes=classes)
+        return report, time.perf_counter() - started
+
+    report, seconds = benchmark.pedantic(measure, rounds=1, iterations=1)
+    summary = report.summary
+    witnesses_per_second = summary["witnesses"] / seconds
+
+    payload = {
+        "records": RECORDS,
+        "witnesses": summary["witnesses"],
+        "clusters": summary["clusters"],
+        "dedup_ratio": summary["dedup_ratio"],
+        "perf_anomalies": summary["perf_anomalies"],
+        "seconds": round(seconds, 4),
+        "witnesses_per_second": round(witnesses_per_second, 1),
+        "floor": WITNESSES_PER_SECOND_FLOOR,
+    }
+    os.makedirs(RESULTS_DIR, exist_ok=True)
+    with open(os.path.join(RESULTS_DIR, "BENCH_triage.json"), "w") as handle:
+        json.dump(payload, handle, indent=2, sort_keys=True)
+        handle.write("\n")
+
+    save_result("triage_throughput", "\n".join([
+        "Triage throughput (%d synthetic records)" % RECORDS,
+        "  witnesses        %8d" % summary["witnesses"],
+        "  clusters         %8d" % summary["clusters"],
+        "  dedup ratio      %8.3f" % summary["dedup_ratio"],
+        "  seconds          %8.3f" % seconds,
+        "  witnesses/s      %8.0f (floor %.0f)"
+        % (witnesses_per_second, WITNESSES_PER_SECOND_FLOOR),
+    ]))
+
+    # Determinism on the same input, then the throughput floor.
+    assert build_report(result, classes=classes).to_json() == report.to_json()
+    assert summary["clusters"] < summary["witnesses"] / 10
+    assert witnesses_per_second >= WITNESSES_PER_SECOND_FLOOR, (
+        "triage below floor: %.0f witnesses/s" % witnesses_per_second)

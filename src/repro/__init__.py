@@ -11,6 +11,7 @@ Layers (bottom-up):
 ``repro.monitor``     lock-free queues, two-level table, category checks
 ``repro.faults``      PIN-analogue single-bit fault injector + campaigns
 ``repro.telemetry``   zero-cost-when-disabled metrics + JSONL event traces
+``repro.triage``      witness clustering + similarity-based perf anomalies
 ``repro.splash2``     seven SPLASH-2-style benchmark kernels
 ``repro.experiments`` one harness per paper table/figure
 
@@ -45,6 +46,7 @@ from repro.instrument import InstrumentConfig, instrument_module
 from repro.monitor import MODE_FEED, MODE_FULL, Monitor, MonitorMode
 from repro.runtime import CostModel, Machine, ParallelProgram, RunConfig, RunResult
 from repro.telemetry import Telemetry, TelemetrySnapshot
+from repro.triage import TriageReport, triage_campaign
 
 __version__ = "1.1.0"
 
@@ -58,5 +60,6 @@ __all__ = [
     "MODE_FEED", "MODE_FULL", "Monitor", "MonitorMode",
     "CostModel", "Machine", "ParallelProgram", "RunConfig", "RunResult",
     "Telemetry", "TelemetrySnapshot",
+    "TriageReport", "triage_campaign",
     "__version__",
 ]

@@ -111,6 +111,23 @@ class CampaignResult:
                 "run_campaign()/BlockWatch.inject() to record a trace")
         return _write_trace_file(path, self.telemetry.events)
 
+    def triage(self, spec=None, program=None, config=None, setup=None,
+               store=None, merge_distance: int = 1):
+        """Cluster this campaign's failure witnesses and flag
+        performance anomalies; returns a
+        :class:`repro.triage.TriageReport`.
+
+        Requires the campaign to have kept its records
+        (``keep_records=True``).  Pass the campaign's ``spec`` (or an
+        explicit ``program`` + ``config``) for precise thread
+        similarity classes from an observation run; a ``store`` caches
+        the finished report as a content-addressed artifact.
+        """
+        from repro.triage import triage_campaign
+        return triage_campaign(self, spec=spec, program=program,
+                               config=config, setup=setup, store=store,
+                               merge_distance=merge_distance)
+
     #: The exact public surface of the pre-telemetry return shape (a
     #: bare CampaignStats).  Only these names go through the deprecation
     #: shim; anything else — a typo, a protocol probe — raises a plain

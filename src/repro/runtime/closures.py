@@ -673,6 +673,7 @@ def _make_generic(program: CompiledProgram, cfunc: CompiledFunction,
                                       then_block if taken else else_block)
                     thread.status = _BLOCKED_QUEUE
                     thread.cycles += machine.cost.stall
+                    thread.queue_stall += machine.cost.stall
                     return 1
             if taken:
                 if then_copy is not None:
@@ -827,6 +828,7 @@ def _make_generic(program: CompiledProgram, cfunc: CompiledFunction,
                 handoff = mutex.last_release + machine.cost.lock_transfer
                 if handoff > woken.cycles:
                     machine.sync_wait_cycles += handoff - woken.cycles
+                    woken.sync_wait += handoff - woken.cycles
                     woken.cycles = handoff
                 woken.frames[-1].index += 1  # past its LockAcquire
             return 1
@@ -846,6 +848,7 @@ def _make_generic(program: CompiledProgram, cfunc: CompiledFunction,
                     other = machine.threads[tid]
                     if release_at > other.cycles:
                         machine.sync_wait_cycles += release_at - other.cycles
+                        other.sync_wait += release_at - other.cycles
                         other.cycles = release_at
                     if other is not thread:
                         other.status = _RUNNABLE
@@ -871,6 +874,7 @@ def _make_generic(program: CompiledProgram, cfunc: CompiledFunction,
                 thread.pending = ("send", message)
                 thread.status = _BLOCKED_QUEUE
                 thread.cycles += machine.cost.stall
+                thread.queue_stall += machine.cost.stall
                 return 1
             frame.index = next_index
             return 1

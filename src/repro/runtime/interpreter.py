@@ -132,7 +132,8 @@ class ThreadContext:
 
     __slots__ = ("tid", "frames", "status", "cycles", "outputs",
                  "callsite_key", "loop_iters", "branch_count",
-                 "pending", "steps", "ghost_skip")
+                 "pending", "steps", "ghost_skip", "sync_wait",
+                 "queue_stall")
 
     def __init__(self, tid: int, function: Function):
         self.tid = tid
@@ -140,6 +141,11 @@ class ThreadContext:
         self.status = ThreadStatus.RUNNABLE
         self.cycles: float = 0.0
         self.outputs: List[Any] = []
+        #: Simulated cycles this thread spent waiting at locks/barriers
+        #: (the per-thread share of Machine.sync_wait_cycles).
+        self.sync_wait: float = 0.0
+        #: Simulated cycles this thread lost to full-monitor-queue stalls.
+        self.queue_stall: float = 0.0
         #: Call-site id path of the current activation, as a ready-made
         #: tuple (it is half of every runtime hash key).
         self.callsite_key: Tuple[int, ...] = ()
@@ -193,6 +199,12 @@ class RunResult:
         self.barrier_episodes = 0
         #: Simulated cycles threads spent waiting at barriers/locks.
         self.sync_wait_cycles: float = 0.0
+        #: Per-thread shares of the synchronization wait and of the
+        #: monitor-queue stall cycles (tid -> cycles); the vectors the
+        #: triage performance-anomaly arm compares within a similarity
+        #: class.
+        self.thread_sync_wait: Dict[int, float] = {}
+        self.thread_queue_stall: Dict[int, float] = {}
         #: Metrics snapshot; None unless the run was given a collector.
         self.telemetry: Optional[TelemetrySnapshot] = None
 
@@ -307,6 +319,8 @@ class Machine:
             result.outputs[thread.tid] = thread.outputs
             result.cycles[thread.tid] = thread.cycles
             result.branch_counts[thread.tid] = thread.branch_count
+            result.thread_sync_wait[thread.tid] = thread.sync_wait
+            result.thread_queue_stall[thread.tid] = thread.queue_stall
         result.parallel_time = max(
             (t.cycles for t in self.threads), default=0.0)
         result.steps = self.total_steps
@@ -344,6 +358,17 @@ class Machine:
             for thread in self.threads:
                 tel.observe("interp.thread_cycles", thread.cycles)
                 tel.observe("interp.thread_steps", thread.steps)
+                # One event per thread, integer fields only: the runtime
+                # vector the triage performance arm clusters within a
+                # similarity class.  Deterministic in the seed (simulated
+                # cycles, never wall-clock), so jobs=N merges keep the
+                # triage report byte-identical.
+                tel.event("thread_metrics", tid=thread.tid,
+                          cycles=int(thread.cycles),
+                          steps=thread.steps,
+                          branches=thread.branch_count,
+                          sync_wait=int(thread.sync_wait),
+                          queue_stall=int(thread.queue_stall))
             tel.event("run_end", status=result.status,
                       steps=self.total_steps,
                       violations=len(result.violations),
@@ -655,6 +680,7 @@ class Machine:
                                   inst.then_block if taken else inst.else_block)
                 thread.status = ThreadStatus.BLOCKED_QUEUE
                 thread.cycles += self.cost.stall
+                thread.queue_stall += self.cost.stall
                 return
         self._transfer(thread, frame, inst.then_block if taken else inst.else_block)
 
@@ -753,6 +779,7 @@ class Machine:
             handoff = mutex.last_release + self.cost.lock_transfer
             if handoff > woken.cycles:
                 self.sync_wait_cycles += handoff - woken.cycles
+                woken.sync_wait += handoff - woken.cycles
                 woken.cycles = handoff
             woken.frames[-1].index += 1  # past its LockAcquire
 
@@ -767,6 +794,7 @@ class Machine:
                 other = self.threads[tid]
                 if release_at > other.cycles:
                     self.sync_wait_cycles += release_at - other.cycles
+                    other.sync_wait += release_at - other.cycles
                     other.cycles = release_at
                 if other is not thread:
                     other.status = ThreadStatus.RUNNABLE
@@ -793,6 +821,7 @@ class Machine:
             thread.pending = ("send", message)
             thread.status = ThreadStatus.BLOCKED_QUEUE
             thread.cycles += self.cost.stall
+            thread.queue_stall += self.cost.stall
             return
         frame.index += 1
 
@@ -844,6 +873,7 @@ class Machine:
         message = thread.pending[1]
         if not self.monitor.try_send(thread.tid, message):
             thread.cycles += self.cost.stall
+            thread.queue_stall += self.cost.stall
             return False
         if kind == "send":
             thread.frames[-1].index += 1

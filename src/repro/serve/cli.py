@@ -5,6 +5,7 @@
     repro-serve status [JOB]
     repro-serve jobs
     repro-serve fetch JOB
+    repro-serve triage JOB
     repro-serve drain
 
 ``submit`` accepts exactly the campaign arguments ``repro-minic
@@ -130,6 +131,28 @@ def cmd_fetch(args) -> int:
     return 0
 
 
+def cmd_triage(args) -> int:
+    from repro.serve.client import ServeClient
+
+    client = ServeClient(host=args.host, port=args.port)
+    try:
+        payload = client.triage(args.job_id)
+    except (ServeError, OSError) as exc:
+        raise SystemExit("error: %s" % exc)
+    if args.json:
+        text = json.dumps(payload, indent=2, sort_keys=True)
+    else:
+        from repro.triage import TriageReport
+        text = TriageReport.from_dict(payload).render_text()
+    if args.out and args.out != "-":
+        with open(args.out, "w", encoding="utf-8") as handle:
+            handle.write(text + "\n")
+        print("wrote %s" % args.out)
+    else:
+        print(text)
+    return 0
+
+
 def cmd_drain(args) -> int:
     from repro.serve.client import ServeClient
 
@@ -228,6 +251,17 @@ def main(argv=None) -> int:
                          metavar="FILE", help="destination "
                          "(default: stdout)")
     p_fetch.set_defaults(func=cmd_fetch)
+
+    p_triage = sub.add_parser(
+        "triage", help="fetch a finished job's clustered triage report")
+    _endpoint_options(p_triage)
+    p_triage.add_argument("job_id")
+    p_triage.add_argument("--json", action="store_true",
+                          help="print the raw report payload instead of "
+                               "the text rendering")
+    p_triage.add_argument("-o", "--out", default="-", metavar="FILE",
+                          help="destination (default: stdout)")
+    p_triage.set_defaults(func=cmd_triage)
 
     p_drain = sub.add_parser(
         "drain", help="gracefully stop the server (jobs checkpoint and "

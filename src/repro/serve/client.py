@@ -107,6 +107,11 @@ class ServeClient:
     def telemetry(self, job_id: str) -> Optional[dict]:
         return self.call("telemetry", job_id=job_id)["telemetry"]
 
+    def triage(self, job_id: str) -> dict:
+        """The server-side clustered triage report of a finished job
+        (a :class:`repro.triage.TriageReport` payload dict)."""
+        return self.call("triage", job_id=job_id)["triage"]
+
     def drain(self) -> dict:
         return self.call("drain")
 

@@ -34,7 +34,7 @@ DEFAULT_PORT = 7212
 
 #: Request operations the server understands.
 OPS = ("ping", "submit", "status", "jobs", "fetch", "watch", "golden",
-       "telemetry", "drain")
+       "telemetry", "triage", "drain")
 
 # -- job lifecycle --------------------------------------------------------
 #: Waiting in the bounded queue (or persisted, awaiting restart pickup).

@@ -429,6 +429,32 @@ class CampaignScheduler:
         when the spec did not enable telemetry)."""
         return self.fetch(job_id).get("telemetry")
 
+    def triage(self, job_id: str) -> dict:
+        """The clustered triage report of a finished job.
+
+        Rebuilds the :class:`CampaignResult` from the stored payload,
+        derives thread similarity classes from the job's spec (one
+        observation run of the golden schedule, program compile cached
+        in the store), and memoizes the finished report as a
+        content-addressed ``triage`` artifact — repeat requests are a
+        store hit, and clients get clustered failure modes instead of
+        raw records.
+        """
+        from repro.store.serialize import result_from_dict
+        from repro.triage import triage_campaign
+        job = self.get_job(job_id)
+        result = result_from_dict(self.fetch(job_id))
+        try:
+            report = triage_campaign(result, spec=job.spec,
+                                     store=self.store)
+        except ServeError:
+            raise
+        except Exception as exc:  # noqa: BLE001 - request isolation
+            raise ServeError("triage of job %s failed: %s"
+                             % (job_id, exc))
+        self.telemetry.count("serve.triaged")
+        return report.to_dict()
+
     def server_status(self) -> dict:
         snapshot = self.telemetry.snapshot()
         return {

@@ -123,6 +123,12 @@ class CampaignServer:
             writer.write(protocol.encode(protocol.ok(
                 telemetry=scheduler.job_telemetry(
                     str(request.get("job_id"))))))
+        elif op == "triage":
+            # Triage may compile the program and replay one observation
+            # run; off the event loop so status/watch stay responsive.
+            report = await asyncio.get_running_loop().run_in_executor(
+                None, scheduler.triage, str(request.get("job_id")))
+            writer.write(protocol.encode(protocol.ok(triage=report)))
         elif op == "watch":
             await self._watch(str(request.get("job_id")), writer)
         elif op == "drain":

@@ -269,6 +269,24 @@ class ArtifactStore:
         self.put(key, "vuln", summary, name=name)
         return summary
 
+    def get_triage(self, key: str, compute: Callable[[], dict],
+                   name: str = "triage report", telemetry=None) -> dict:
+        """One clustered triage report (JSON-safe dict) per distinct
+        triage fingerprint — computed via
+        :func:`repro.store.hashing.triage_key`.  A corrupt or
+        schema-mismatched entry is treated as a miss and overwritten.
+        Counters: ``store.triage.hit`` / ``store.triage.miss``."""
+        try:
+            report = self.load(key, "triage")
+            self._count("store.triage.hit", telemetry)
+            return report
+        except StoreError:
+            pass
+        self._count("store.triage.miss", telemetry)
+        report = compute()
+        self.put(key, "triage", report, name=name)
+        return report
+
     def get_golden(self, prog_key: str, nthreads: int, seed: int,
                    quantum: int, output_globals: Tuple[str, ...],
                    compute: Callable[[], GoldenSummary],

@@ -183,6 +183,23 @@ def vuln_key(fingerprint: str, vuln_schema: int) -> str:
     })
 
 
+def triage_key(fingerprint: str, triage_schema: int) -> str:
+    """Content address of one campaign triage report.
+
+    Keyed on the *triage fingerprint* — a hash of the campaign's
+    deterministic outcome rows, the thread similarity classes, and the
+    clustering parameters (see
+    :func:`repro.triage.report.triage_fingerprint`) — so every
+    ``jobs=N`` execution of the same campaign maps to the same cached
+    report."""
+    return _digest({
+        "schema": ARTIFACT_SCHEMA,
+        "kind": "triage",
+        "triage_schema": int(triage_schema),
+        "fingerprint": fingerprint,
+    })
+
+
 def golden_key(prog_key: str, nthreads: int, seed: int, quantum: int,
                output_globals: Tuple[str, ...]) -> str:
     """Cache key of one golden run (inputs only)."""

@@ -136,12 +136,18 @@ def result_to_dict(result) -> dict:
     execution artifact, not a result; its fingerprint lives in the
     journal), so a round-tripped result compares against a serial run on
     stats, records, stratified summary, and telemetry."""
+    # Wire contract: records ship in strictly ascending injection-index
+    # order whatever order the campaign's shards completed in, so two
+    # fetches of the same campaign — serial or jobs=N — are
+    # byte-identical under canonical JSON.
+    records = [record_to_dict(index, record)
+               for index, record in enumerate(result.records)]
+    records.sort(key=lambda payload: payload["index"])
     return {
         "kind": "campaign-result",
         "schema": RESULT_SCHEMA,
         "stats": stats_to_dict(result.stats),
-        "records": [record_to_dict(index, record)
-                    for index, record in enumerate(result.records)],
+        "records": records,
         "stratified": result.stratified,
         "telemetry": (None if result.telemetry is None
                       else result.telemetry.to_dict()),
@@ -157,9 +163,19 @@ def result_from_dict(data: dict):
             "campaign result uses schema %r; this build reads schema %d"
             % (data.get("schema"), RESULT_SCHEMA))
     try:
+        # Reassemble by each record's own index, not by array position:
+        # a payload whose records arrive in any order (an old producer,
+        # a shard-ordered writer) still lands in injection order.
         records = [None] * len(data["records"])
         for payload in data["records"]:
             index, record = record_from_dict(payload)
+            if not 0 <= index < len(records):
+                raise StoreCorruptError(
+                    "record index %d outside campaign of %d record(s)"
+                    % (index, len(records)))
+            if records[index] is not None:
+                raise StoreCorruptError(
+                    "duplicate record index %d" % index)
             records[index] = record
         telemetry = None
         if data.get("telemetry") is not None:

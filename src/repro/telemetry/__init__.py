@@ -23,6 +23,7 @@ from repro.telemetry.core import (
 from repro.telemetry.trace import (
     EVENT_KINDS,
     TraceSchemaError,
+    iter_trace,
     read_trace,
     sort_events,
     validate_event,
@@ -33,6 +34,6 @@ from repro.telemetry.trace import (
 __all__ = [
     "DISABLED", "NullTelemetry", "Telemetry", "TelemetrySnapshot",
     "active", "bucket_bounds", "bucket_of", "event_sort_key",
-    "EVENT_KINDS", "TraceSchemaError", "read_trace", "sort_events",
-    "validate_event", "validate_trace_file", "write_trace",
+    "EVENT_KINDS", "TraceSchemaError", "iter_trace", "read_trace",
+    "sort_events", "validate_event", "validate_trace_file", "write_trace",
 ]

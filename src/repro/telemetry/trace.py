@@ -23,7 +23,7 @@ sorted traces whatever ``jobs=`` they ran under.
 from __future__ import annotations
 
 import json
-from typing import Iterable, List
+from typing import Iterable, Iterator, List
 
 from repro.telemetry.core import event_sort_key
 
@@ -46,6 +46,10 @@ EVENT_KINDS = {
     "run_start": ("nthreads",),
     #: a simulated machine finished: status plus monitor facts.
     "run_end": ("status", "steps", "violations"),
+    #: one thread's end-of-run runtime vector (simulated cycles only,
+    #: never wall-clock) — the input to triage performance clustering.
+    "thread_metrics": ("tid", "cycles", "steps", "branches",
+                       "sync_wait", "queue_stall"),
 }
 
 #: Fields every event must carry.
@@ -89,28 +93,41 @@ def write_trace(path: str, events: Iterable[dict]) -> int:
     return len(ordered)
 
 
-def read_trace(path: str) -> List[dict]:
-    """Read a JSONL trace back into a list of event dicts."""
-    events = []
+def iter_trace(path: str) -> Iterator[dict]:
+    """Stream a JSONL trace one event dict at a time.
+
+    Lazy: each line is read and parsed only when the consumer advances
+    the iterator, so arbitrarily large campaign traces can be scanned
+    in constant memory.  Blank lines are skipped.
+    """
     with open(path) as handle:
         for lineno, line in enumerate(handle, 1):
             line = line.strip()
             if not line:
                 continue
             try:
-                events.append(json.loads(line))
+                yield json.loads(line)
             except json.JSONDecodeError as exc:
                 raise TraceSchemaError(
                     "%s:%d: not valid JSON: %s" % (path, lineno, exc))
-    return events
+
+
+def read_trace(path: str) -> List[dict]:
+    """Read a JSONL trace back into a list of event dicts."""
+    return list(iter_trace(path))
 
 
 def validate_trace_file(path: str) -> int:
-    """Validate every line of a JSONL trace; returns the event count."""
-    events = read_trace(path)
-    for index, event in enumerate(events):
+    """Validate every line of a JSONL trace; returns the event count.
+
+    Streams via :func:`iter_trace` so validation never materializes the
+    whole trace.
+    """
+    count = 0
+    for index, event in enumerate(iter_trace(path)):
         try:
             validate_event(event)
         except TraceSchemaError as exc:
             raise TraceSchemaError("%s: event %d: %s" % (path, index, exc))
-    return len(events)
+        count += 1
+    return count

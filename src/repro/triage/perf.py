@@ -1,0 +1,123 @@
+"""Similarity-based performance-anomaly detection (the Liu et al. arm).
+
+The SPMD observation behind BLOCKWATCH — threads of one similarity
+class behave alike — holds for *performance* just as for control flow:
+class peers should spend comparable simulated cycles, wait comparably
+at locks and barriers, and stall comparably on the monitor queue.  A
+thread whose runtime vector diverges from its class centroid is worth
+a look even when every correctness check passed.
+
+Input is the ``thread_metrics`` event stream (one event per thread per
+run, integer fields, simulated cycles only — never wall-clock), summed
+per thread id.  Summing is associative and the events themselves are
+deterministic in the seed, so the vectors — and the flags — are
+identical under any ``jobs=N`` partitioning.
+
+Flagging is robust-statistics, not model fitting: per class and per
+metric the centroid is the member median, spread is the MAD, and a
+member is anomalous only when its deviation clears *all three* of a
+MAD multiple (adaptive), a relative floor (a quarter of the median, so
+symmetric jitter never trips), and an absolute floor (so near-zero
+metrics never trip on noise).  Classes with fewer than
+:data:`MIN_CLASS_SIZE` members are skipped — a median over two threads
+cannot say which one diverged.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Sequence
+
+#: Vector components compared within a class.
+PERF_METRICS = ("cycles", "sync_wait", "queue_stall")
+
+#: Extra per-thread tallies carried for context (not flagged on).
+_CONTEXT_METRICS = ("steps", "branches")
+
+#: Smallest class the detector will judge.
+MIN_CLASS_SIZE = 3
+
+#: Consistency constant relating MAD to a standard deviation.
+_MAD_SCALE = 1.4826
+
+
+def thread_vectors(events: Sequence[dict]) -> Dict[int, Dict[str, int]]:
+    """Sum ``thread_metrics`` events into per-thread integer vectors."""
+    vectors: Dict[int, Dict[str, int]] = {}
+    for event in events:
+        if event.get("kind") != "thread_metrics":
+            continue
+        tid = int(event["tid"])
+        vector = vectors.setdefault(
+            tid, dict.fromkeys(PERF_METRICS + _CONTEXT_METRICS + ("runs",),
+                               0))
+        for name in PERF_METRICS + _CONTEXT_METRICS:
+            vector[name] += int(event.get(name, 0))
+        vector["runs"] += 1
+    return vectors
+
+
+def _median(values: List[float]) -> float:
+    ordered = sorted(values)
+    mid = len(ordered) // 2
+    if len(ordered) % 2:
+        return float(ordered[mid])
+    return (ordered[mid - 1] + ordered[mid]) / 2.0
+
+
+def perf_anomalies(vectors: Dict[int, Dict[str, int]],
+                   classes: Sequence[Sequence[int]],
+                   deviation_factor: float = 4.0,
+                   relative_floor: float = 0.25,
+                   absolute_floor: float = 64.0) -> dict:
+    """Flag threads diverging from their similarity-class centroid.
+
+    Returns a JSON-safe report: per class the member tids, the centroid
+    (component medians), and the anomalies — each naming the thread,
+    the metric, its value, the class median, and the threshold it
+    cleared.
+    """
+    report = {
+        "available": True,
+        "metrics": list(PERF_METRICS),
+        "params": {
+            "deviation_factor": deviation_factor,
+            "relative_floor": relative_floor,
+            "absolute_floor": absolute_floor,
+            "min_class_size": MIN_CLASS_SIZE,
+        },
+        "classes": [],
+        "anomalies": 0,
+    }
+    for rank, tids in enumerate(classes):
+        members = [tid for tid in sorted(tids) if tid in vectors]
+        entry: dict = {"rank": rank, "tids": members,
+                       "members": len(members), "anomalies": []}
+        if len(members) < MIN_CLASS_SIZE:
+            entry["skipped"] = "fewer than %d members" % MIN_CLASS_SIZE
+        else:
+            centroid = {}
+            for metric in PERF_METRICS:
+                values = [float(vectors[tid][metric]) for tid in members]
+                median = _median(values)
+                centroid[metric] = round(median, 4)
+                mad = _median([abs(value - median) for value in values])
+                threshold = max(deviation_factor * _MAD_SCALE * mad,
+                                relative_floor * max(abs(median), 1.0),
+                                absolute_floor)
+                for tid, value in zip(members, values):
+                    deviation = abs(value - median)
+                    if deviation > threshold:
+                        entry["anomalies"].append({
+                            "tid": tid,
+                            "metric": metric,
+                            "value": round(value, 4),
+                            "median": round(median, 4),
+                            "deviation": round(deviation, 4),
+                            "threshold": round(threshold, 4),
+                        })
+            entry["centroid"] = centroid
+            entry["anomalies"].sort(
+                key=lambda a: (a["tid"], a["metric"]))
+        report["classes"].append(entry)
+        report["anomalies"] += len(entry["anomalies"])
+    return report

@@ -1,0 +1,254 @@
+"""Witness canonicalization and clustering (the MEA-style arm).
+
+A *witness* is everything one failing injection left behind: the fault
+plan, the classification, the injector's detail string, and (when the
+campaign recorded telemetry) the injection's event subtrace.  Raw
+witnesses differ in incidental ways — which thread drew the fault,
+which bit flipped, the injection's index and seed, absolute step
+counts — so thousands of records describe only a handful of failure
+modes.  Canonicalization strips the incident and keeps the mode:
+
+* thread ids map to similarity-class ranks (``class=2``, never a tid);
+* injection indices, seeds, branch indices, and bit positions are
+  dropped;
+* the injector detail keeps only its *site* (branch target blocks, or
+  the corrupted register's name with ``id()``-based placeholders
+  neutralized) — corrupted values and bit numbers are erased;
+* absolute step counts become the sign of the delta against the golden
+  run (a detected run halts early: ``-``);
+* monitor violations appear as the sorted set of violated check kinds.
+
+The canonical form is an ordered token list; its SHA-256 over canonical
+JSON buckets exact duplicates, and buckets that agree on the primary
+key (fault model, site, outcome) and differ in at most
+``merge_distance`` remaining tokens are merged into one cluster via a
+deterministic union-find.  Everything sorts on content hashes and
+injection indices, so the clustering is byte-stable under any
+``jobs=N`` partitioning.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import re
+from typing import Dict, List, Sequence
+
+from repro.store.hashing import canonical_json
+
+#: Token keys that form a cluster's primary identity: buckets are only
+#: ever merged when they agree on all of these.
+PRIMARY_TOKENS = ("fault", "site", "outcome")
+
+#: ``%<7f3a...>`` — the printer's fallback for unnamed registers.  The
+#: hex digits are a process-local ``id()``, so they must never reach a
+#: canonical form (or a report fetched from a 4-worker campaign would
+#: differ from the serial run's).
+_ID_PLACEHOLDER = re.compile(r"%<[0-9a-f]+>")
+
+_BR_PREFIX = "flipped decision of br -> "
+_BIT_PREFIX = "flipped bit "
+_BOOL_PREFIX = "flipped boolean"
+
+
+def normalize_detail(detail: str) -> str:
+    """An injector detail string with process-local register
+    placeholders neutralized (safe to embed in deterministic output)."""
+    return _ID_PLACEHOLDER.sub("%<?>", detail)
+
+
+def canonical_site(detail: str) -> str:
+    """The stable *site* of an injector detail string.
+
+    Keeps what identifies the static fault site (branch target block
+    names, the corrupted register's name) and erases what identifies
+    the incident (bit index, corrupted values).
+    """
+    if not detail:
+        return "none"
+    if detail.startswith(_BR_PREFIX):
+        return "br:" + detail[len(_BR_PREFIX):].replace(" ", "")
+    if detail.startswith(_BIT_PREFIX):
+        _, sep, rest = detail.partition(" of ")
+        if sep:
+            return "cond:" + normalize_detail(rest.split(":", 1)[0])
+        return "cond:?"
+    if detail.startswith(_BOOL_PREFIX):
+        return "cond:bool"
+    return "other"
+
+
+def canonical_witness(record, ranks=None, golden_steps=None) -> List[str]:
+    """One injection record as its canonical token list.
+
+    ``ranks`` maps thread ids to similarity-class ranks (see
+    :mod:`repro.triage.similarity`); ``golden_steps`` is the golden
+    run's step count, turning absolute per-run steps into a delta sign.
+    Both are optional — missing context degrades to ``?`` tokens rather
+    than leaking incidental identifiers.
+    """
+    spec = record.spec
+    rank = "?"
+    if ranks is not None and spec.thread_id in ranks:
+        rank = str(ranks[spec.thread_id])
+    tokens = [
+        "fault=" + spec.fault_type.value,
+        "site=" + canonical_site(record.detail),
+        "outcome=" + record.outcome.value,
+        "baseline=" + record.baseline_outcome.value,
+        "flip=" + ("y" if record.flipped_branch else "n"),
+        "class=" + rank,
+    ]
+    snapshot = record.telemetry
+    if snapshot is not None:
+        prefix = "monitor.violation."
+        kinds = sorted(name[len(prefix):] for name in snapshot.counters
+                       if name.startswith(prefix))
+        tokens.append("checks=" + ("+".join(kinds) if kinds else "none"))
+        status, delta = "?", "?"
+        for event in snapshot.events:
+            if event.get("kind") != "run_end":
+                continue
+            status = str(event.get("status", "?"))
+            if golden_steps:
+                diff = int(event.get("steps", 0)) - int(golden_steps)
+                delta = "-" if diff < 0 else ("+" if diff > 0 else "0")
+        tokens.append("trace=%s:%s" % (status, delta))
+    return tokens
+
+
+def witness_hash(tokens: Sequence[str]) -> str:
+    """Content address of one canonical witness."""
+    return hashlib.sha256(
+        canonical_json(list(tokens)).encode("utf-8")).hexdigest()
+
+
+def token_distance(a: Sequence[str], b: Sequence[str],
+                   limit: int = 1) -> int:
+    """Edit distance between two token sequences, capped at
+    ``limit + 1`` (the cap makes the row-minimum early exit sound)."""
+    if list(a) == list(b):
+        return 0
+    if abs(len(a) - len(b)) > limit:
+        return limit + 1
+    previous = list(range(len(b) + 1))
+    for i, token_a in enumerate(a, 1):
+        current = [i]
+        best = i
+        for j, token_b in enumerate(b, 1):
+            cost = 0 if token_a == token_b else 1
+            value = min(previous[j] + 1, current[j - 1] + 1,
+                        previous[j - 1] + cost)
+            current.append(value)
+            best = min(best, value)
+        if best > limit:
+            return limit + 1
+        previous = current
+    return min(previous[-1], limit + 1)
+
+
+def _primary_key(tokens: Sequence[str]) -> tuple:
+    return tuple(token for token in tokens
+                 if token.split("=", 1)[0] in PRIMARY_TOKENS)
+
+
+def _token_value(tokens: Sequence[str], key: str) -> str:
+    prefix = key + "="
+    for token in tokens:
+        if token.startswith(prefix):
+            return token[len(prefix):]
+    return "?"
+
+
+def cluster_witnesses(witnesses: List[dict],
+                      merge_distance: int = 1) -> List[dict]:
+    """Cluster canonical witnesses into ranked failure modes.
+
+    ``witnesses`` entries carry ``index`` (injection index), ``tokens``,
+    ``hash``, ``record``, and ``rank`` (the target thread's class rank,
+    or None).  Exact-hash buckets come first; buckets sharing a primary
+    key within ``merge_distance`` token edits are then merged.  Returns
+    JSON-safe cluster dicts ordered by (member count desc, hash).
+    """
+    buckets: Dict[str, dict] = {}
+    for witness in witnesses:
+        bucket = buckets.setdefault(
+            witness["hash"], {"tokens": witness["tokens"], "members": []})
+        bucket["members"].append(witness)
+    order = sorted(buckets)
+
+    parent = {key: key for key in order}
+
+    def find(key: str) -> str:
+        while parent[key] != key:
+            parent[key] = parent[parent[key]]
+            key = parent[key]
+        return key
+
+    if merge_distance > 0:
+        by_primary: Dict[tuple, List[str]] = {}
+        for key in order:
+            by_primary.setdefault(
+                _primary_key(buckets[key]["tokens"]), []).append(key)
+        for group in by_primary.values():
+            for i, left in enumerate(group):
+                for right in group[i + 1:]:
+                    if token_distance(buckets[left]["tokens"],
+                                      buckets[right]["tokens"],
+                                      merge_distance) <= merge_distance:
+                        root_l, root_r = find(left), find(right)
+                        if root_l != root_r:
+                            # Smaller hash wins: the cluster id is the
+                            # least member hash whatever the merge order.
+                            parent[max(root_l, root_r)] = min(root_l, root_r)
+
+    grouped: Dict[str, List[str]] = {}
+    for key in order:
+        grouped.setdefault(find(key), []).append(key)
+
+    total = sum(len(bucket["members"]) for bucket in buckets.values())
+    clusters = []
+    for root in sorted(grouped):
+        members = sorted(
+            (witness for key in grouped[root]
+             for witness in buckets[key]["members"]),
+            key=lambda witness: witness["index"])
+        representative = members[0]
+        tokens = representative["tokens"]
+        breakdown: Dict[str, Dict[str, int]] = {
+            "faults": {}, "sites": {}, "baselines": {}, "classes": {}}
+        for witness in members:
+            record = witness["record"]
+            for field, value in (
+                    ("faults", record.spec.fault_type.value),
+                    ("sites", canonical_site(record.detail)),
+                    ("baselines", record.baseline_outcome.value),
+                    ("classes", "?" if witness["rank"] is None
+                     else str(witness["rank"]))):
+                counts = breakdown[field]
+                counts[value] = counts.get(value, 0) + 1
+        rep_record = representative["record"]
+        clusters.append({
+            "hash": root,
+            "members": len(members),
+            "share": round(len(members) / total, 4) if total else 0.0,
+            "variants": len(grouped[root]),
+            "tokens": list(tokens),
+            "fault": _token_value(tokens, "fault"),
+            "site": _token_value(tokens, "site"),
+            "outcome": _token_value(tokens, "outcome"),
+            "faults": breakdown["faults"],
+            "sites": breakdown["sites"],
+            "baselines": breakdown["baselines"],
+            "classes": breakdown["classes"],
+            "representative": {
+                "injection": representative["index"],
+                "detail": normalize_detail(rep_record.detail),
+                "thread": rep_record.spec.thread_id,
+                "class": representative["rank"],
+                "outcome": rep_record.outcome.value,
+            },
+        })
+    clusters.sort(key=lambda cluster: (-cluster["members"], cluster["hash"]))
+    for rank, cluster in enumerate(clusters):
+        cluster["rank"] = rank
+    return clusters

@@ -1,0 +1,64 @@
+"""The fabric's ``triage`` op: server-side reports match local triage,
+are stable across calls (store-cached), and fail cleanly."""
+
+import pytest
+
+from repro.errors import ServeError
+from repro.faults import CampaignSpec, run_campaign
+from repro.serve import ServeClient, ServeConfig, ServerThread
+from repro.triage import TriageReport
+from tests.conftest import FIGURE_1
+
+
+def figure1_spec(**overrides):
+    base = dict(fault="flip", injections=12, nthreads=4, seed=9,
+                telemetry=True,
+                output_globals=("result",),
+                scalars=(("nprocs", 4),),
+                arrays=(("gp", tuple([5, 40, 10, 40] * 16)),))
+    base.update(overrides)
+    return CampaignSpec.build(FIGURE_1, name="figure1", **base)
+
+
+@pytest.fixture
+def server(tmp_path):
+    thread = ServerThread(ServeConfig(store_root=str(tmp_path / "store")))
+    thread.start()
+    yield thread
+    thread.stop()
+
+
+def test_triage_op_matches_local_triage(server):
+    spec = figure1_spec()
+    client = ServeClient(port=server.port)
+    job_id = client.submit(spec, shards=2)
+    assert client.wait(job_id, timeout=300)["state"] == "done"
+
+    payload = client.triage(job_id)
+    report = TriageReport.from_dict(payload)
+
+    local = run_campaign(spec, keep_records=True).triage(spec=spec)
+    assert report.to_json() == local.to_json()
+
+
+def test_triage_op_is_stable_across_calls(server):
+    spec = figure1_spec(seed=21)
+    client = ServeClient(port=server.port)
+    job_id = client.submit(spec)
+    client.wait(job_id, timeout=300)
+    assert client.triage(job_id) == client.triage(job_id)
+
+
+def test_triage_rendering_from_wire_payload(server):
+    spec = figure1_spec(seed=33)
+    client = ServeClient(port=server.port)
+    job_id = client.submit(spec)
+    client.wait(job_id, timeout=300)
+    text = TriageReport.from_dict(client.triage(job_id)).render_text()
+    assert text.startswith("triage: figure1 branch-flip")
+
+
+def test_triage_of_unknown_job_is_an_error(server):
+    client = ServeClient(port=server.port)
+    with pytest.raises(ServeError, match="unknown job"):
+        client.triage("no-such-job")

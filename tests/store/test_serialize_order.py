@@ -1,0 +1,71 @@
+"""Wire-order contract of serialized campaign results: records ship in
+injection-index order, reassemble by index, and reject corrupt
+indexing — so fetch payloads are byte-identical under any jobs=N."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.errors import StoreCorruptError
+from repro.faults.campaign import run_campaign
+from repro.faults.spec import CampaignSpec
+from repro.store.serialize import result_from_dict, result_to_dict
+
+SPEC = dict(nthreads=4, injections=24, seed=13, fault="flip")
+
+
+@pytest.fixture(scope="module")
+def serial_result():
+    return run_campaign(CampaignSpec.for_kernel("radix", **SPEC),
+                        jobs=1, keep_records=True)
+
+
+def canonical(payload: dict) -> str:
+    return json.dumps(payload, sort_keys=True, separators=(",", ":"))
+
+
+def test_records_ship_in_index_order(serial_result):
+    payload = result_to_dict(serial_result)
+    indices = [record["index"] for record in payload["records"]]
+    assert indices == sorted(indices)
+    assert indices == list(range(len(indices)))
+
+
+def test_payload_byte_identical_across_jobs(serial_result):
+    sharded = run_campaign(CampaignSpec.for_kernel("radix", **SPEC),
+                           jobs=4, keep_records=True)
+    assert (canonical(result_to_dict(sharded))
+            == canonical(result_to_dict(serial_result)))
+
+
+def test_shuffled_payload_reassembles_in_index_order(serial_result):
+    payload = result_to_dict(serial_result)
+    shuffled = dict(payload)
+    # Worst-case arrival order: fully reversed.
+    shuffled["records"] = list(reversed(payload["records"]))
+    rebuilt = result_from_dict(shuffled)
+    assert canonical(result_to_dict(rebuilt)) == canonical(payload)
+    for index, record in enumerate(rebuilt.records):
+        assert record.spec == serial_result.records[index].spec
+        assert record.outcome == serial_result.records[index].outcome
+
+
+def test_duplicate_record_index_is_corrupt(serial_result):
+    payload = result_to_dict(serial_result)
+    broken = dict(payload)
+    broken["records"] = list(payload["records"])
+    broken["records"][3] = dict(broken["records"][3], index=0)
+    with pytest.raises(StoreCorruptError, match="duplicate record index 0"):
+        result_from_dict(broken)
+
+
+def test_out_of_range_record_index_is_corrupt(serial_result):
+    payload = result_to_dict(serial_result)
+    for bad in (len(payload["records"]), -1):
+        broken = dict(payload)
+        broken["records"] = list(payload["records"])
+        broken["records"][0] = dict(broken["records"][0], index=bad)
+        with pytest.raises(StoreCorruptError, match="outside campaign"):
+            result_from_dict(broken)

@@ -118,4 +118,13 @@ def test_enabled_run_snapshot_matches_result(figure1_program):
     assert snap.counter("interp.runs") == 1
     assert snap.gauge("interp.parallel_cycles") == int(result.parallel_time)
     kinds = [e["kind"] for e in snap.events]
-    assert kinds == ["run_start", "run_end"]
+    assert kinds == (["run_start"]
+                     + ["thread_metrics"] * THREADS
+                     + ["run_end"])
+    metrics = [e for e in snap.events if e["kind"] == "thread_metrics"]
+    assert [m["tid"] for m in metrics] == list(range(THREADS))
+    assert sum(m["steps"] for m in metrics) == result.steps
+    for m in metrics:
+        assert m["cycles"] >= 0
+        assert m["sync_wait"] >= 0
+        assert m["queue_stall"] >= 0

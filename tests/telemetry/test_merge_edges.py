@@ -1,0 +1,94 @@
+"""TelemetrySnapshot.merge edge cases: identities, disjoint domains,
+the gauge max rule, and associativity on awkward inputs."""
+
+from __future__ import annotations
+
+from repro.telemetry import TelemetrySnapshot
+
+
+def snap(**kwargs):
+    return TelemetrySnapshot(**kwargs)
+
+
+def test_merge_with_empty_is_identity_both_ways():
+    loaded = snap(counters={"a": 3}, gauges={"g": 7},
+                  hists={"h": {2: 5, 3: 1}}, timers={"t": (2, 900)},
+                  events=[{"kind": "x", "seq": 0, "inj": 0}])
+    empty = snap()
+    assert empty.is_empty
+    for merged in (loaded.merge(empty), empty.merge(loaded)):
+        assert merged == loaded
+    # merge returns a *new* snapshot; the operands are untouched.
+    loaded.merge(snap(counters={"a": 1}))
+    assert loaded.counters == {"a": 3}
+
+
+def test_merge_of_two_empties_is_empty():
+    assert snap().merge(snap()).is_empty
+
+
+def test_disjoint_counter_and_histogram_domains_union():
+    a = snap(counters={"only.a": 1}, hists={"h": {1: 4}})
+    b = snap(counters={"only.b": 2}, hists={"h": {8: 6}, "other": {0: 1}})
+    merged = a.merge(b)
+    assert merged.counters == {"only.a": 1, "only.b": 2}
+    # Disjoint buckets of the same histogram coexist; no bucket is
+    # dropped or collapsed.
+    assert merged.hists["h"] == {1: 4, 8: 6}
+    assert merged.hists["other"] == {0: 1}
+
+
+def test_overlapping_histogram_buckets_sum():
+    a = snap(hists={"h": {2: 3, 5: 1}})
+    b = snap(hists={"h": {2: 4}})
+    assert a.merge(b).hists["h"] == {2: 7, 5: 1}
+
+
+def test_gauge_merges_by_max_not_sum():
+    a = snap(gauges={"depth": 9, "only.a": 2})
+    b = snap(gauges={"depth": 4, "only.b": 11})
+    merged = a.merge(b)
+    assert merged.gauges == {"depth": 9, "only.a": 2, "only.b": 11}
+    # Commutative: max picks the same winner from either side.
+    assert b.merge(a).gauges == merged.gauges
+    # A gauge present on one side only keeps its value even when the
+    # value is 0 (max against an *absent* entry, not against 0).
+    assert snap(gauges={"z": 0}).merge(snap()).gauges == {"z": 0}
+
+
+def test_timer_pairs_sum_componentwise():
+    a = snap(timers={"t": (2, 1000)})
+    b = snap(timers={"t": (3, 500), "u": (1, 10)})
+    merged = a.merge(b)
+    assert merged.timers == {"t": (5, 1500), "u": (1, 10)}
+
+
+def test_merge_associativity_on_mixed_snapshots():
+    a = snap(counters={"c": 1}, gauges={"g": 5}, hists={"h": {0: 1}},
+             events=[{"kind": "e", "seq": 0, "inj": 2}])
+    b = snap(counters={"c": 10}, gauges={"g": 2}, hists={"h": {4: 2}},
+             events=[{"kind": "e", "seq": 0, "inj": 0}])
+    c = snap(counters={"d": 7}, gauges={"g": 9},
+             events=[{"kind": "e", "seq": 1, "inj": 0}])
+    left = a.merge(b).merge(c)
+    right = a.merge(b.merge(c))
+    assert left == right
+    # Events land in (inj, seq) order whatever the grouping.
+    assert [(e["inj"], e["seq"]) for e in left.events] == [
+        (0, 0), (0, 1), (2, 0)]
+
+
+def test_merge_all_skips_none_operands():
+    merged = TelemetrySnapshot.merge_all(
+        [None, snap(counters={"a": 1}), None, snap(counters={"a": 2})])
+    assert merged.counters == {"a": 3}
+    assert TelemetrySnapshot.merge_all([None, None]).is_empty
+
+
+def test_roundtrip_preserves_merge_result():
+    a = snap(counters={"c": 1}, gauges={"g": 5}, hists={"h": {2: 5}},
+             timers={"t": (1, 250)},
+             events=[{"kind": "e", "seq": 0, "inj": -1}])
+    b = snap(hists={"h": {3: 1}})
+    merged = a.merge(b)
+    assert TelemetrySnapshot.from_dict(merged.to_dict()) == merged

@@ -9,6 +9,7 @@ import pytest
 
 from repro.telemetry import (
     TraceSchemaError,
+    iter_trace,
     read_trace,
     sort_events,
     validate_event,
@@ -70,6 +71,43 @@ def test_validator_flags_bad_line(tmp_path):
     path.write_text("not json\n")
     with pytest.raises(TraceSchemaError, match="not valid JSON"):
         read_trace(str(path))
+
+
+def test_iter_trace_is_lazy(tmp_path):
+    # A malformed line deep in the file must not prevent reading the
+    # events before it — proof the iterator consumes line by line
+    # instead of slurping the whole file up front.
+    path = tmp_path / "large.jsonl"
+    with open(str(path), "w", encoding="utf-8") as handle:
+        for seq in range(5000):
+            handle.write('{"kind": "tick", "seq": %d, "inj": 0}\n' % seq)
+        handle.write("THIS LINE IS NOT JSON\n")
+    stream = iter_trace(str(path))
+    assert iter(stream) is stream  # an iterator, not a list
+    first = next(stream)
+    assert first == {"kind": "tick", "seq": 0, "inj": 0}
+    consumed = 1
+    with pytest.raises(TraceSchemaError, match="5001: not valid JSON"):
+        for _ in stream:
+            consumed += 1
+    assert consumed == 5000
+
+
+def test_iter_trace_large_roundtrip(tmp_path):
+    events = [{"kind": "tick", "seq": seq, "inj": seq % 7}
+              for seq in range(20000)]
+    path = str(tmp_path / "big.jsonl")
+    assert write_trace(path, events) == 20000
+    streamed = list(iter_trace(path))
+    assert streamed == read_trace(path)
+    assert len(streamed) == 20000
+    assert validate_trace_file(path) == 20000
+
+
+def test_iter_trace_skips_blank_lines(tmp_path):
+    path = tmp_path / "gaps.jsonl"
+    path.write_text('{"kind": "a", "seq": 0}\n\n\n{"kind": "b", "seq": 1}\n')
+    assert [e["kind"] for e in iter_trace(str(path))] == ["a", "b"]
 
 
 def test_module_cli_validator(tmp_path):

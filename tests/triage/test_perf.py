@@ -1,0 +1,81 @@
+"""Performance-anomaly arm: vector accumulation and robust flagging."""
+
+from __future__ import annotations
+
+from repro.triage import PERF_METRICS, perf_anomalies, thread_vectors
+from repro.triage.perf import MIN_CLASS_SIZE
+
+
+def metrics_event(tid, cycles=1000, sync_wait=40, queue_stall=0,
+                  steps=100, branches=10):
+    return {"kind": "thread_metrics", "tid": tid, "cycles": cycles,
+            "steps": steps, "branches": branches, "sync_wait": sync_wait,
+            "queue_stall": queue_stall}
+
+
+def test_thread_vectors_sums_across_runs():
+    events = [
+        metrics_event(0, cycles=100, sync_wait=5),
+        metrics_event(1, cycles=200, sync_wait=7),
+        metrics_event(0, cycles=150, sync_wait=3),
+        {"kind": "run_end", "seq": 1, "steps": 10**9},  # ignored
+    ]
+    vectors = thread_vectors(events)
+    assert sorted(vectors) == [0, 1]
+    assert vectors[0]["cycles"] == 250
+    assert vectors[0]["sync_wait"] == 8
+    assert vectors[0]["runs"] == 2
+    assert vectors[1]["runs"] == 1
+    for name in PERF_METRICS:
+        assert name in vectors[0]
+
+
+def test_clean_class_flags_nothing():
+    # Mild symmetric jitter must never trip any of the three guards.
+    events = [metrics_event(t, cycles=1000 + 3 * t, sync_wait=40 + t % 3)
+              for t in range(8)]
+    report = perf_anomalies(thread_vectors(events), [list(range(8))])
+    assert report["available"] is True
+    assert report["anomalies"] == 0
+    assert report["classes"][0]["members"] == 8
+    assert report["classes"][0]["anomalies"] == []
+    assert "centroid" in report["classes"][0]
+
+
+def test_skewed_thread_is_flagged_within_its_class():
+    events = [metrics_event(t, cycles=1000 + 3 * t, sync_wait=40 + t % 3)
+              for t in range(8)]
+    events[5] = metrics_event(5, cycles=1015, sync_wait=800)
+    report = perf_anomalies(thread_vectors(events), [list(range(8))])
+    assert report["anomalies"] == 1
+    anomaly = report["classes"][0]["anomalies"][0]
+    assert anomaly["tid"] == 5
+    assert anomaly["metric"] == "sync_wait"
+    assert anomaly["value"] > anomaly["threshold"]
+
+
+def test_small_classes_are_skipped_not_judged():
+    events = [metrics_event(t, sync_wait=40 if t else 9999)
+              for t in range(MIN_CLASS_SIZE - 1)]
+    report = perf_anomalies(thread_vectors(events),
+                            [list(range(MIN_CLASS_SIZE - 1))])
+    assert report["anomalies"] == 0
+    assert "skipped" in report["classes"][0]
+
+
+def test_flagging_respects_class_boundaries():
+    # Thread 4's large sync_wait is normal *within its own class* —
+    # only cross-class comparison would flag it, and we must not.
+    slow_class = [metrics_event(t, sync_wait=900 + t) for t in (4, 5, 6)]
+    fast_class = [metrics_event(t, sync_wait=10 + t) for t in (0, 1, 2)]
+    report = perf_anomalies(thread_vectors(slow_class + fast_class),
+                            [[0, 1, 2], [4, 5, 6]])
+    assert report["anomalies"] == 0
+
+
+def test_absolute_floor_suppresses_near_zero_noise():
+    # queue_stall of 0 vs 30: relatively huge, absolutely tiny.
+    events = [metrics_event(t, queue_stall=0) for t in range(4)]
+    events[2] = metrics_event(2, queue_stall=30)
+    report = perf_anomalies(thread_vectors(events), [list(range(4))])
+    assert report["anomalies"] == 0

@@ -1,0 +1,104 @@
+"""Thread similarity classes: stream grouping, fallbacks, and the
+observation run on the paper's Figure 1 program."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.faults.campaign import CampaignConfig
+from repro.triage import class_ranks, classes_from_counts, observe_thread_classes
+from repro.triage.similarity import BlockStreamHook, default_classes, group_streams
+from tests.conftest import figure1_setup
+
+
+def test_group_streams_identical_streams_share_a_class():
+    streams = {
+        0: [("slave", "entry", True), ("slave", "loop", False)],
+        1: [("slave", "entry", True), ("slave", "loop", False)],
+        2: [("slave", "entry", False)],
+        3: [],
+    }
+    assert group_streams(streams, 4) == [[0, 1], [2], [3]]
+
+
+def test_group_streams_decision_bit_separates_paths():
+    # Same blocks, different taken direction: different classes.
+    streams = {
+        0: [("slave", "entry", True)],
+        1: [("slave", "entry", False)],
+    }
+    assert group_streams(streams, 2) == [[0], [1]]
+
+
+def test_group_streams_missing_tids_get_empty_streams():
+    assert group_streams({}, 3) == [[0, 1, 2]]
+
+
+def test_classes_from_counts():
+    assert classes_from_counts({0: 26, 1: 27, 2: 26, 3: 28}) == [
+        [0, 2], [1], [3]]
+    assert classes_from_counts({}) == []
+
+
+def test_class_ranks():
+    assert class_ranks([[0, 2], [1], [3]]) == {0: 0, 2: 0, 1: 1, 3: 2}
+    assert class_ranks([]) == {}
+
+
+def test_observe_figure1_classes(figure1_program):
+    # Figure 1 diverges three ways: the procid==0 thread, the threads
+    # whose gp[procid] clears im-1, and those whose does not.  The
+    # decision-aware streams see it; block identity alone would not
+    # (the divergent arms are straight-line).
+    classes = observe_thread_classes(
+        figure1_program, CampaignConfig(nthreads=4, seed=3),
+        setup=figure1_setup(4))
+    assert len(classes) == 3
+    assert sorted(tid for cls in classes for tid in cls) == [0, 1, 2, 3]
+    # Canonical form: each class sorted, classes ordered by least member.
+    assert classes == sorted((sorted(cls) for cls in classes),
+                             key=lambda cls: cls[0])
+    # Exactly one class of two threads (the two gp=40 procids).
+    assert sorted(len(cls) for cls in classes) == [1, 1, 2]
+
+
+def test_observation_run_is_deterministic(figure1_program):
+    config = CampaignConfig(nthreads=4, seed=12345)
+    first = observe_thread_classes(figure1_program, config,
+                                   setup=figure1_setup(4))
+    second = observe_thread_classes(figure1_program, config,
+                                    setup=figure1_setup(4))
+    assert first == second
+
+
+def test_block_stream_hook_passes_decisions_through(figure1_program):
+    from repro.runtime.program import RunConfig
+
+    hook = BlockStreamHook()
+    result = figure1_program.run(RunConfig(nthreads=4, seed=3),
+                                 setup=figure1_setup(4), fault_hook=hook)
+    assert result.status == "ok"
+    assert sorted(hook.streams) == [0, 1, 2, 3]
+    for stream in hook.streams.values():
+        assert stream, "every thread branches at least once in figure1"
+        for function, block, taken in stream:
+            assert isinstance(taken, bool)
+
+
+def test_default_classes_fallbacks():
+    class Stats:
+        nthreads = 4
+
+    class Result:
+        stats = Stats()
+        golden = None
+        records = []
+
+    assert default_classes(Result()) == [[0, 1, 2, 3]]
+
+    class Golden:
+        branch_counts = {0: 10, 1: 12, 2: 10, 3: 12}
+
+    result = Result()
+    result.golden = Golden()
+    assert default_classes(result) == [[0, 2], [1, 3]]

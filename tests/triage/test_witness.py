@@ -1,0 +1,213 @@
+"""Witness canonicalization units: detail normalization, site
+extraction, token lists, capped edit distance, and clustering."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.faults.campaign import InjectionRecord
+from repro.faults.models import FaultSpec, FaultType
+from repro.faults.outcomes import Outcome
+from repro.telemetry import TelemetrySnapshot
+from repro.triage import (
+    canonical_site,
+    canonical_witness,
+    cluster_witnesses,
+    normalize_detail,
+    token_distance,
+    witness_hash,
+)
+
+
+def make_record(thread=0, branch=3, outcome=Outcome.DETECTED,
+                baseline=Outcome.MASKED, detail="", flipped=True,
+                fault=FaultType.BRANCH_FLIP, telemetry=None):
+    return InjectionRecord(
+        spec=FaultSpec(fault_type=fault, thread_id=thread,
+                       branch_index=branch, rng_seed=thread + branch),
+        outcome=outcome, baseline_outcome=baseline,
+        flipped_branch=flipped, detail=detail, telemetry=telemetry)
+
+
+def make_witness(index, record, ranks=None):
+    tokens = canonical_witness(record, ranks=ranks)
+    rank = None if ranks is None else ranks.get(record.spec.thread_id)
+    return {"index": index, "record": record, "tokens": tokens,
+            "hash": witness_hash(tokens), "rank": rank}
+
+
+# -- normalize_detail / canonical_site ---------------------------------
+
+
+def test_normalize_detail_neutralizes_process_local_ids():
+    detail = "flipped bit 5 of %<7f3a9c01b2>: 12 -> 44"
+    assert normalize_detail(detail) == "flipped bit 5 of %<?>: 12 -> 44"
+    assert normalize_detail("no placeholders") == "no placeholders"
+
+
+def test_canonical_site_branch_flip():
+    detail = "flipped decision of br -> loop.body, loop.exit !bw"
+    assert canonical_site(detail) == "br:loop.body,loop.exit!bw"
+    detail = "flipped decision of br -> if.then, if.end"
+    assert canonical_site(detail) == "br:if.then,if.end"
+
+
+def test_canonical_site_bit_flip_keeps_register_drops_values():
+    detail = "flipped bit 3 of %cmp: 1 -> 9"
+    assert canonical_site(detail) == "cond:%cmp"
+    # Same register, different bit/values: same site.
+    assert canonical_site("flipped bit 14 of %cmp: 0 -> 16384") == "cond:%cmp"
+    # Unnamed registers never leak id() hex into the site.
+    assert (canonical_site("flipped bit 2 of %<deadbeef>: 4 -> 0")
+            == "cond:%<?>")
+
+
+def test_canonical_site_degenerate_forms():
+    assert canonical_site("") == "none"
+    assert canonical_site("flipped boolean condition register") == "cond:bool"
+    assert canonical_site("flipped bit 3") == "cond:?"
+    assert canonical_site("something else entirely") == "other"
+
+
+# -- canonical_witness -------------------------------------------------
+
+
+def test_canonical_witness_drops_incidental_identity():
+    detail = "flipped decision of br -> loop.body, loop.exit !bw"
+    a = make_record(thread=1, branch=10, detail=detail)
+    b = make_record(thread=3, branch=99, detail=detail)
+    ranks = {1: 0, 3: 0}
+    # Different threads of the same class, different dynamic branch
+    # indices and seeds: identical canonical form.
+    assert canonical_witness(a, ranks) == canonical_witness(b, ranks)
+    tokens = canonical_witness(a, ranks)
+    assert tokens == [
+        "fault=branch-flip",
+        "site=br:loop.body,loop.exit!bw",
+        "outcome=detected",
+        "baseline=masked",
+        "flip=y",
+        "class=0",
+    ]
+
+
+def test_canonical_witness_distinguishes_classes():
+    detail = "flipped decision of br -> loop.body, loop.exit !bw"
+    a = make_record(thread=1, detail=detail)
+    b = make_record(thread=3, detail=detail)
+    ranks = {1: 0, 3: 2}
+    assert canonical_witness(a, ranks) != canonical_witness(b, ranks)
+    assert "class=?" in canonical_witness(a, ranks=None)
+
+
+def test_canonical_witness_telemetry_tokens():
+    snap = TelemetrySnapshot(
+        counters={"monitor.violation.shared": 2,
+                  "monitor.violation.tid_eq": 1,
+                  "monitor.check": 40},
+        events=[{"kind": "run_end", "seq": 9, "inj": 4,
+                 "status": "detected", "steps": 120, "violations": 3}])
+    record = make_record(detail="", telemetry=snap)
+    tokens = canonical_witness(record, golden_steps=200)
+    assert "checks=shared+tid_eq" in tokens
+    assert "trace=detected:-" in tokens
+    # Without a golden step count the delta degrades to '?'.
+    assert "trace=detected:?" in canonical_witness(record)
+    # No violations -> explicit 'none', not an absent token.
+    clean = make_record(telemetry=TelemetrySnapshot())
+    assert "checks=none" in canonical_witness(clean)
+
+
+# -- token distance ----------------------------------------------------
+
+
+def test_token_distance_basic():
+    a = ["fault=x", "site=s", "outcome=d"]
+    assert token_distance(a, a) == 0
+    assert token_distance(a, ["fault=x", "site=s", "outcome=c"]) == 1
+    # Capped: two substitutions report limit+1, not the true distance.
+    assert token_distance(a, ["fault=y", "site=t", "outcome=d"], limit=1) == 2
+    assert token_distance(a, ["fault=y", "site=t", "outcome=d"], limit=2) == 2
+    # Length difference beyond the limit short-circuits.
+    assert token_distance(a, a + ["x", "y"], limit=1) == 2
+    assert token_distance(a, a + ["x"], limit=1) == 1
+
+
+# -- clustering --------------------------------------------------------
+
+
+DETAIL_A = "flipped decision of br -> loop.body, loop.exit !bw"
+DETAIL_B = "flipped decision of br -> if.then, if.end !bw"
+
+
+def test_cluster_exact_duplicates_collapse():
+    ranks = {0: 0, 1: 0, 2: 0}
+    witnesses = [make_witness(i, make_record(thread=i % 3, branch=i,
+                                             detail=DETAIL_A), ranks)
+                 for i in range(12)]
+    clusters = cluster_witnesses(witnesses)
+    assert len(clusters) == 1
+    cluster = clusters[0]
+    assert cluster["members"] == 12
+    assert cluster["share"] == 1.0
+    assert cluster["rank"] == 0
+    assert cluster["site"] == "br:loop.body,loop.exit!bw"
+    assert cluster["representative"]["injection"] == 0
+
+
+def test_cluster_merge_within_primary_key_only():
+    ranks = {0: 0, 1: 1}
+    # Same fault/site/outcome, classes 0 and 1: distance 1, merged.
+    same_site = [make_witness(0, make_record(thread=0, detail=DETAIL_A),
+                              ranks),
+                 make_witness(1, make_record(thread=1, detail=DETAIL_A),
+                              ranks)]
+    merged = cluster_witnesses(same_site, merge_distance=1)
+    assert len(merged) == 1
+    assert merged[0]["variants"] == 2
+    assert merged[0]["classes"] == {"0": 1, "1": 1}
+
+    # Different site: also distance 1 in raw tokens, but the primary
+    # key differs, so the buckets must NOT merge.
+    cross_site = [make_witness(0, make_record(thread=0, detail=DETAIL_A),
+                               ranks),
+                  make_witness(1, make_record(thread=0, detail=DETAIL_B),
+                               ranks)]
+    assert len(cluster_witnesses(cross_site, merge_distance=1)) == 2
+
+    # merge_distance=0 keeps exact-hash buckets apart.
+    assert len(cluster_witnesses(same_site, merge_distance=0)) == 2
+
+
+def test_cluster_order_and_breakdowns():
+    ranks = {0: 0}
+    witnesses = (
+        [make_witness(i, make_record(detail=DETAIL_A), ranks)
+         for i in range(5)]
+        + [make_witness(5 + i, make_record(detail=DETAIL_B,
+                                           outcome=Outcome.SDC), ranks)
+           for i in range(2)])
+    clusters = cluster_witnesses(witnesses)
+    assert [c["members"] for c in clusters] == [5, 2]
+    assert [c["rank"] for c in clusters] == [0, 1]
+    assert clusters[0]["outcome"] == "detected"
+    assert clusters[1]["outcome"] == "sdc"
+    assert clusters[0]["sites"] == {"br:loop.body,loop.exit!bw": 5}
+    assert clusters[1]["baselines"] == {"masked": 2}
+    assert abs(clusters[0]["share"] - 5 / 7) < 1e-3
+
+
+def test_cluster_deterministic_under_input_order():
+    ranks = {0: 0, 1: 1, 2: 2}
+    witnesses = []
+    for i in range(9):
+        detail = DETAIL_A if i % 3 else DETAIL_B
+        witnesses.append(make_witness(
+            i, make_record(thread=i % 3, branch=i, detail=detail), ranks))
+    forward = cluster_witnesses(list(witnesses))
+    backward = cluster_witnesses(list(reversed(witnesses)))
+    assert forward == backward
+
+
+def test_empty_witness_list():
+    assert cluster_witnesses([]) == []
